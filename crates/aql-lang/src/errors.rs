@@ -1,0 +1,102 @@
+//! Error types for the surface language and session.
+
+use std::fmt;
+
+use aql_core::error::{EvalError, TypeError};
+
+/// Any failure while lexing, parsing, desugaring, or executing an AQL
+/// statement.
+#[derive(Debug, Clone)]
+pub enum LangError {
+    /// Lexical error with position.
+    Lex {
+        /// Byte offset.
+        offset: usize,
+        /// 1-based line.
+        line: usize,
+        /// Message.
+        message: String,
+    },
+    /// Parse error with position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Message.
+        message: String,
+    },
+    /// Desugaring error (bad pattern, unknown builtin arity, …).
+    Desugar(String),
+    /// The typechecker rejected the query.
+    Type(TypeError),
+    /// Evaluation failed at the host level.
+    Eval(EvalError),
+    /// A session-level problem: unknown reader/writer, duplicate name,
+    /// I/O failure, macro cycle, …
+    Session(String),
+}
+
+impl LangError {
+    /// Construct a lexical error.
+    pub fn lex(offset: usize, line: usize, message: impl Into<String>) -> LangError {
+        LangError::Lex { offset, line, message: message.into() }
+    }
+
+    /// Construct a parse error.
+    pub fn parse(line: usize, message: impl Into<String>) -> LangError {
+        LangError::Parse { line, message: message.into() }
+    }
+
+    /// Construct a desugaring error.
+    pub fn desugar(message: impl Into<String>) -> LangError {
+        LangError::Desugar(message.into())
+    }
+
+    /// Construct a session error.
+    pub fn session(message: impl Into<String>) -> LangError {
+        LangError::Session(message.into())
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, message, .. } => {
+                write!(f, "lexical error (line {line}): {message}")
+            }
+            LangError::Parse { line, message } => {
+                write!(f, "parse error (line {line}): {message}")
+            }
+            LangError::Desugar(m) => write!(f, "desugaring error: {m}"),
+            LangError::Type(e) => write!(f, "type error: {e}"),
+            LangError::Eval(e) => write!(f, "evaluation error: {e}"),
+            LangError::Session(m) => write!(f, "session error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<TypeError> for LangError {
+    fn from(e: TypeError) -> Self {
+        LangError::Type(e)
+    }
+}
+
+impl From<EvalError> for LangError {
+    fn from(e: EvalError) -> Self {
+        LangError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = LangError::parse(7, "expected `;`");
+        assert!(e.to_string().contains("line 7"));
+        let e: LangError = TypeError::Unbound("x".into()).into();
+        assert!(e.to_string().contains("type error"));
+    }
+}

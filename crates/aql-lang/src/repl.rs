@@ -1,0 +1,209 @@
+//! A line-oriented read-eval-print driver over [`Session`].
+//!
+//! Mirrors the paper's AQL top-level loop (§4.2): statements are
+//! accumulated until a terminating `;`, executed, and echoed as
+//! `typ …` / `val …` lines. Continuation lines print with the `::`
+//! prompt from the paper's transcript.
+
+use std::io::{BufRead, Write};
+
+use crate::session::Session;
+
+/// The primary prompt.
+pub const PROMPT: &str = ": ";
+/// The continuation prompt (as in the paper's transcript).
+pub const CONT_PROMPT: &str = ":: ";
+
+/// Drive a session from a reader to a writer until EOF. Returns the
+/// number of statements executed successfully.
+pub fn run_repl(
+    session: &mut Session,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> std::io::Result<usize> {
+    let mut executed = 0usize;
+    let mut pending = String::new();
+    loop {
+        write!(output, "{}", if pending.is_empty() { PROMPT } else { CONT_PROMPT })?;
+        output.flush()?;
+        let mut line = String::new();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if pending.is_empty() && trimmed.is_empty() {
+            continue;
+        }
+        if pending.is_empty() && (trimmed == "quit" || trimmed == "exit") {
+            break;
+        }
+        pending.push_str(&line);
+        if !statement_complete(&pending) {
+            continue;
+        }
+        // Meta-commands: `vals;` and `macros;` list the environment.
+        let trimmed_stmt = pending.trim();
+        if trimmed_stmt == "vals;" {
+            for (n, t) in session.val_bindings() {
+                writeln!(output, "val {n} : {t}")?;
+            }
+            pending.clear();
+            continue;
+        }
+        if trimmed_stmt == "macros;" {
+            writeln!(output, "{}", session.macro_names().join(", "))?;
+            pending.clear();
+            continue;
+        }
+        // `explain <query>;` shows the pipeline instead of running it.
+        if let Some(q) = trimmed_stmt.strip_prefix("explain ") {
+            let q = q.trim_end().trim_end_matches(';');
+            match session.explain(q) {
+                Ok(ex) => writeln!(output, "{}", ex.render())?,
+                Err(e) => writeln!(output, "error: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
+        match session.run(&pending) {
+            Ok(outcomes) => {
+                for o in outcomes {
+                    writeln!(output, "{}", o.text)?;
+                    executed += 1;
+                }
+            }
+            Err(e) => writeln!(output, "error: {e}")?,
+        }
+        pending.clear();
+    }
+    Ok(executed)
+}
+
+/// Heuristic statement-completeness check: the buffer ends with `;`
+/// outside strings and comments.
+fn statement_complete(src: &str) -> bool {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut depth_comment = 0usize;
+    let mut in_string = false;
+    let mut last_significant = 0u8;
+    while i < b.len() {
+        let c = b[i];
+        if in_string {
+            if c == b'\\' {
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        if depth_comment > 0 {
+            if c == b'(' && b.get(i + 1) == Some(&b'*') {
+                depth_comment += 1;
+                i += 2;
+                continue;
+            }
+            if c == b'*' && b.get(i + 1) == Some(&b')') {
+                depth_comment -= 1;
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'"' => in_string = true,
+            b'(' if b.get(i + 1) == Some(&b'*') => {
+                depth_comment += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => {}
+            _ => last_significant = c,
+        }
+        i += 1;
+    }
+    depth_comment == 0 && !in_string && last_significant == b';'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn completeness_heuristic() {
+        assert!(statement_complete("1 + 1;"));
+        assert!(statement_complete("1 + 1; (* trailing comment *)"));
+        assert!(!statement_complete("1 + 1"));
+        assert!(!statement_complete("\"unterminated;"));
+        assert!(!statement_complete("(* ; *)"));
+        assert!(statement_complete("{x | \\x <- S};"));
+    }
+
+    #[test]
+    fn repl_executes_and_echoes() {
+        let mut s = Session::new();
+        let input = "val \\x = 3;\nx * 14;\nquit\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        let n = run_repl(&mut s, &mut reader, &mut out).unwrap();
+        assert_eq!(n, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("typ x : nat"));
+        assert!(text.contains("val it = 42"));
+    }
+
+    #[test]
+    fn repl_recovers_from_errors() {
+        let mut s = Session::new();
+        let input = "1 + true;\n2 + 2;\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        let n = run_repl(&mut s, &mut reader, &mut out).unwrap();
+        assert_eq!(n, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("error:"));
+        assert!(text.contains("val it = 4"));
+    }
+
+    #[test]
+    fn meta_commands_list_the_environment() {
+        let mut s = Session::new();
+        let input = "val \\x = 3;\nvals;\nmacros;\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("val x : nat"));
+        assert!(text.contains("zip_3"), "prelude macros listed: {text}");
+    }
+
+    #[test]
+    fn explain_shows_the_pipeline() {
+        let mut s = Session::new();
+        let input = "explain [[ i | \\i < 10 ]][3];\n1 + 1;\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("typ  : nat"));
+        assert!(text.contains("beta-p"), "trace must show β^p: {text}");
+        assert!(text.contains("opt  : 3"), "the query folds to 3: {text}");
+        assert!(text.contains("val it = 2"), "the REPL keeps running");
+    }
+
+    #[test]
+    fn multiline_statements_accumulate() {
+        let mut s = Session::new();
+        let input = "{d | \\d <- gen!5,\n d > 2};\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("val it = {3, 4}"));
+        assert!(text.contains(CONT_PROMPT));
+    }
+}

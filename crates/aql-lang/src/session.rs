@@ -1,0 +1,816 @@
+//! The AQL top-level environment and read-eval-print session (§4).
+//!
+//! A [`Session`] owns the four registries of the paper's environment
+//! module — `val` bindings, `macro` definitions, external primitives,
+//! and data readers/writers — plus the optimizer. Executing a
+//! statement runs the full Fig. 3 pipeline:
+//!
+//! ```text
+//! parse → desugar (Fig. 2) → resolve names → typecheck
+//!       → macro substitution happens at resolve → optimize
+//!       → compile → evaluate → pretty-print
+//! ```
+//!
+//! Openness (§4.1): [`Session::register_external`],
+//! [`Session::register_reader`], [`Session::register_writer`] and
+//! [`Session::optimizer_mut`] inject primitives, drivers and rules at
+//! run time — the Rust counterparts of the paper's SML registration
+//! routines.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use aql_core::check::typecheck;
+use aql_core::error::EvalError;
+use aql_core::eval::{eval, EvalCtx, Limits};
+use aql_core::expr::{name, Expr, Name};
+use aql_core::prim::{Extensions, NativeFn};
+use aql_core::types::Type;
+use aql_core::value::print::session_string;
+use aql_core::value::tyof::type_of_value;
+use aql_core::value::Value;
+use aql_opt::Optimizer;
+
+use crate::ast::Stmt;
+use crate::desugar::desugar;
+use crate::errors::LangError;
+use crate::parser::parse_program;
+use crate::reader::{CoFileReader, CoFileWriter, Reader, Writer};
+
+/// Prelude macros, written in AQL itself and loaded into every
+/// session: the derived operators §3 says "are available as macros".
+pub const PRELUDE: &str = r#"
+macro \zip = fn (\a, \b) => [[ (a[i], b[i]) | \i < min!{len!a, len!b} ]];
+macro \zip_3 = fn (\a, \b, \c) => [[ (a[i], b[i], c[i]) | \i < min!{len!a, len!b, len!c} ]];
+macro \subseq = fn (\a, \i, \j) => [[ a[i + k] | \k < (j + 1) - i ]];
+macro \evenpos = fn \a => [[ a[i * 2] | \i < len!a / 2 ]];
+macro \oddpos = fn \a => [[ a[i * 2 + 1] | \i < len!a / 2 ]];
+macro \reverse = fn \a => [[ a[len!a - i - 1] | \i < len!a ]];
+macro \transpose = fn \m => [[ m[i, j] | \j < dim_2_2!m, \i < dim_1_2!m ]];
+macro \proj_col = fn (\m, \j) => [[ m[i, j] | \i < dim_1_2!m ]];
+macro \proj_row = fn (\m, \i) => [[ m[i, j] | \j < dim_2_2!m ]];
+macro \matmul = fn (\m, \n) =>
+  if dim_2_2!m <> dim_1_2!n then bottom
+  else [[ summap(fn \q => m[i, q] * n[q, k])!(gen!(dim_2_2!m))
+        | \i < dim_1_2!m, \k < dim_2_2!n ]];
+macro \append = fn (\a, \b) =>
+  [[ if i < len!a then a[i] else b[i - len!a] | \i < len!a + len!b ]];
+macro \filter = fn (\p, \s) => {x | \x <- s, p!x};
+macro \forall_in = fn (\s, \p) => summap(fn \x => if p!x then 0 else 1)!(s) = 0;
+macro \exists_in = fn (\s, \p) => summap(fn \x => if p!x then 1 else 0)!(s) > 0;
+macro \nest = fn \X => {(x, {y | (x, \y) <- X}) | (\x, _) <- X};
+macro \graph = fn \a => {(i, a[i]) | [\i : _] <- a};
+
+(* --- ODMG array primitives (§7: "our array query language can also
+       easily simulate all ODMG array primitives"), functionally:   --- *)
+(* update element i to v *)
+macro \upd = fn (\a, \i, \v) =>
+  [[ if j = i then v else a[j] | \j < len!a ]];
+(* resize to n, filling new slots with d *)
+macro \resize = fn (\a, \n, \d) =>
+  [[ if i < len!a then a[i] else d | \i < n ]];
+(* insert v before position i (i <= len a) *)
+macro \insert_at = fn (\a, \i, \v) =>
+  [[ if j < i then a[j] else if j = i then v else a[j - 1]
+   | \j < len!a + 1 ]];
+(* remove the element at position i *)
+macro \remove_at = fn (\a, \i) =>
+  [[ if j < i then a[j] else a[j + 1] | \j < len!a - 1 ]];
+
+(* --- reshaping (§1: "why not include primitives for … reshaping a
+       one-dimensional array in row-major order into a two-dimensional
+       array, etc.?" — because tabulation derives them) --- *)
+macro \reshape = fn (\a, \r, \c) => [[ a[i * c + j] | \i < r, \j < c ]];
+macro \flatten = fn \m =>
+  [[ m[i / dim_2_2!m, i % dim_2_2!m] | \i < dim_1_2!m * dim_2_2!m ]];
+
+(* --- coordinate-valued indices (§7 future work: "more meaningful
+       data types such as longitudes and latitudes as indices"):
+       nearest-coordinate lookup over a coordinate array, definable
+       inside AQL via the canonical order on (distance, index) pairs --- *)
+macro \nearest = fn (\c, \x) =>
+  pi_2_2!(min!{((if v > x then v - x else x - v), i) | [\i : \v] <- c});
+"#;
+
+/// The kind of statement an outcome came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// A `val` declaration.
+    Val(String),
+    /// A `macro` declaration.
+    Macro(String),
+    /// A `readval` command.
+    Read(String),
+    /// A `writeval` command.
+    Write,
+    /// A bare query (bound to `it`, as in the paper's session).
+    Query,
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// What kind of statement executed.
+    pub kind: OutcomeKind,
+    /// Its type (absent for `writeval`).
+    pub ty: Option<Type>,
+    /// Its value (absent for macros and `writeval`).
+    pub value: Option<Value>,
+    /// The session echo, formatted like the paper's sample session
+    /// (`typ … : …` / `val … = …`).
+    pub text: String,
+}
+
+/// The result of [`Session::explain`]: the compiled and optimized
+/// forms of a query with the rewrite trace.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query's type.
+    pub ty: Type,
+    /// The resolved core-calculus term (after desugaring and macro
+    /// substitution).
+    pub core: Expr,
+    /// The term after the §5 optimizer.
+    pub optimized: Expr,
+    /// Every rule firing, in order.
+    pub trace: aql_opt::Trace,
+}
+
+impl Explain {
+    /// A human-readable rendering (used by the REPL's `explain`).
+    pub fn render(&self) -> String {
+        format!(
+            "typ  : {}\ncore : {}\nopt  : {}\n{} rewrite step(s):\n{}",
+            self.ty,
+            self.core,
+            self.optimized,
+            self.trace.len(),
+            self.trace.render()
+        )
+    }
+}
+
+/// An interactive AQL session: the top-level environment plus the
+/// query pipeline.
+pub struct Session {
+    vals: HashMap<Name, Value>,
+    val_types: HashMap<Name, Type>,
+    macros: HashMap<Name, (Expr, Type)>,
+    externals: Extensions,
+    readers: HashMap<String, Rc<dyn Reader>>,
+    writers: HashMap<String, Rc<dyn Writer>>,
+    optimizer: Optimizer,
+    /// Evaluation limits for queries run in this session.
+    pub limits: Limits,
+    /// Whether the optimizer runs (on by default; benches turn it off
+    /// to measure the unoptimized pipeline).
+    pub optimize: bool,
+    /// Truncation width for session echoes of large values.
+    pub display_limit: usize,
+}
+
+impl Session {
+    /// A session with the standard optimizer, the `COFILE`
+    /// reader/writer, and the AQL prelude loaded.
+    pub fn new() -> Session {
+        let mut s = Session::bare();
+        s.run(PRELUDE).expect("prelude must load");
+        s
+    }
+
+    /// A session without the prelude (used by tests that want full
+    /// control; the builtin `COFILE` driver is still registered).
+    pub fn bare() -> Session {
+        let mut readers: HashMap<String, Rc<dyn Reader>> = HashMap::new();
+        readers.insert("COFILE".to_string(), Rc::new(CoFileReader));
+        let mut writers: HashMap<String, Rc<dyn Writer>> = HashMap::new();
+        writers.insert("COFILE".to_string(), Rc::new(CoFileWriter));
+        Session {
+            vals: HashMap::new(),
+            val_types: HashMap::new(),
+            macros: HashMap::new(),
+            externals: Extensions::new(),
+            readers,
+            writers,
+            optimizer: aql_opt::standard(),
+            limits: Limits::default(),
+            optimize: true,
+            display_limit: aql_core::value::print::SESSION_TRUNCATE,
+        }
+    }
+
+    // ---- openness: registration (§4.1) ---------------------------------
+
+    /// Register an external primitive (the paper's `RegisterCO`).
+    pub fn register_external(&mut self, f: NativeFn) {
+        self.externals.register(f);
+    }
+
+    /// Register a data reader under a name usable in `readval`.
+    pub fn register_reader(&mut self, rname: &str, r: Rc<dyn Reader>) {
+        self.readers.insert(rname.to_string(), r);
+    }
+
+    /// Register a data writer under a name usable in `writeval`.
+    pub fn register_writer(&mut self, wname: &str, w: Rc<dyn Writer>) {
+        self.writers.insert(wname.to_string(), w);
+    }
+
+    /// Mutable access to the optimizer, for injecting rules/phases.
+    pub fn optimizer_mut(&mut self) -> &mut Optimizer {
+        &mut self.optimizer
+    }
+
+    /// Bind a `val` directly from Rust (type inferred from the value).
+    pub fn bind_val(&mut self, vname: &str, v: Value) -> Result<(), LangError> {
+        let ty = type_of_value(&v)
+            .ok_or_else(|| LangError::session(format!("cannot infer the type of `{vname}`")))?;
+        self.bind_val_typed(vname, v, ty);
+        Ok(())
+    }
+
+    /// Bind a `val` with an explicit type.
+    pub fn bind_val_typed(&mut self, vname: &str, v: Value, ty: Type) {
+        self.vals.insert(name(vname), v);
+        self.val_types.insert(name(vname), ty);
+    }
+
+    /// Look up a `val` (including `it`, the last query result).
+    pub fn val(&self, vname: &str) -> Option<&Value> {
+        self.vals.get(vname)
+    }
+
+    /// The bound `val` names with their types, sorted.
+    pub fn val_bindings(&self) -> Vec<(String, Type)> {
+        let mut v: Vec<(String, Type)> = self
+            .val_types
+            .iter()
+            .map(|(k, t)| (k.to_string(), t.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// The registered macros, by name.
+    pub fn macro_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.macros.keys().map(|k| k.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    // ---- the pipeline ----------------------------------------------------
+
+    /// Execute a program (one or more `;`-terminated statements).
+    pub fn run(&mut self, src: &str) -> Result<Vec<Outcome>, LangError> {
+        let stmts = parse_program(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(self.exec(&s)?);
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a single query expression and return its type and value.
+    pub fn eval_query(&mut self, src: &str) -> Result<(Type, Value), LangError> {
+        let outcomes = self.run(&format!("{src};"))?;
+        let last = outcomes
+            .into_iter()
+            .last()
+            .ok_or_else(|| LangError::session("empty input"))?;
+        match (last.ty, last.value) {
+            (Some(t), Some(v)) => Ok((t, v)),
+            _ => Err(LangError::session("statement did not produce a value")),
+        }
+    }
+
+    /// Run a statement.
+    pub fn exec(&mut self, stmt: &Stmt) -> Result<Outcome, LangError> {
+        match stmt {
+            Stmt::Val(vname, e) => {
+                let (ty, v) = self.eval_surface(e)?;
+                let ty = default_type_vars(&ty);
+                self.vals.insert(name(vname), v.clone());
+                self.val_types.insert(name(vname), ty.clone());
+                Ok(Outcome {
+                    text: format!(
+                        "typ {vname} : {ty}\nval {vname} = {}",
+                        session_string(&v, self.display_limit)
+                    ),
+                    kind: OutcomeKind::Val(vname.clone()),
+                    ty: Some(ty),
+                    value: Some(v),
+                })
+            }
+            Stmt::MacroDef(mname, e) => {
+                let core = desugar(e)?;
+                let resolved = self.resolve(&core);
+                let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
+                self.macros.insert(name(mname), (resolved, ty.clone()));
+                Ok(Outcome {
+                    text: format!(
+                        "typ {mname} : {ty}\nval {mname} = {mname} registered as macro."
+                    ),
+                    kind: OutcomeKind::Macro(mname.clone()),
+                    ty: Some(ty),
+                    value: None,
+                })
+            }
+            Stmt::Query(e) => {
+                let (ty, v) = self.eval_surface(e)?;
+                let ty = default_type_vars(&ty);
+                // The last query result is bound to `it`, as in ML.
+                self.vals.insert(name("it"), v.clone());
+                self.val_types.insert(name("it"), ty.clone());
+                Ok(Outcome {
+                    text: format!(
+                        "typ it : {ty}\nval it = {}",
+                        session_string(&v, self.display_limit)
+                    ),
+                    kind: OutcomeKind::Query,
+                    ty: Some(ty),
+                    value: Some(v),
+                })
+            }
+            Stmt::ReadVal { name: vname, reader, arg } => {
+                let (_, argv) = self.eval_surface(arg)?;
+                let r = self
+                    .readers
+                    .get(reader)
+                    .cloned()
+                    .ok_or_else(|| {
+                        LangError::session(format!("no reader registered as `{reader}`"))
+                    })?;
+                let (v, declared) = r.read(&argv)?;
+                let ty = declared
+                    .or_else(|| type_of_value(&v))
+                    .ok_or_else(|| {
+                        LangError::session(format!(
+                            "reader `{reader}` produced a value of ambiguous type; \
+                             have the reader declare its result type"
+                        ))
+                    })?;
+                self.vals.insert(name(vname), v.clone());
+                self.val_types.insert(name(vname), ty.clone());
+                Ok(Outcome {
+                    text: format!(
+                        "typ {vname} : {ty}\nval {vname} = {}",
+                        session_string(&v, self.display_limit)
+                    ),
+                    kind: OutcomeKind::Read(vname.clone()),
+                    ty: Some(ty),
+                    value: Some(v),
+                })
+            }
+            Stmt::WriteVal { value, writer, arg } => {
+                let (_, v) = self.eval_surface(value)?;
+                let (_, argv) = self.eval_surface(arg)?;
+                let w = self
+                    .writers
+                    .get(writer)
+                    .cloned()
+                    .ok_or_else(|| {
+                        LangError::session(format!("no writer registered as `{writer}`"))
+                    })?;
+                w.write(&argv, &v)?;
+                Ok(Outcome {
+                    text: format!("val it = () written using {writer}."),
+                    kind: OutcomeKind::Write,
+                    ty: None,
+                    value: None,
+                })
+            }
+        }
+    }
+
+    /// The expression pipeline: desugar → resolve → typecheck →
+    /// optimize → evaluate.
+    fn eval_surface(&self, e: &crate::ast::SExpr) -> Result<(Type, Value), LangError> {
+        let core = desugar(e)?;
+        self.eval_core(&core)
+    }
+
+    /// Run the pipeline from the core-calculus stage.
+    pub fn eval_core(&self, core: &Expr) -> Result<(Type, Value), LangError> {
+        let resolved = self.resolve(core);
+        let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
+        let optimized = if self.optimize {
+            self.optimizer.optimize(&resolved)
+        } else {
+            resolved
+        };
+        let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits);
+        let v = eval(&optimized, &ctx).map_err(LangError::Eval)?;
+        Ok((ty, v))
+    }
+
+    /// Resolve free names: macros are substituted (their bodies are
+    /// stored fully resolved), externals become [`Expr::Ext`], `val`s
+    /// become [`Expr::Global`]. Lexically bound names are untouched.
+    pub fn resolve(&self, e: &Expr) -> Expr {
+        let mut bound: Vec<Name> = Vec::new();
+        self.resolve_in(e, &mut bound)
+    }
+
+    fn resolve_in(&self, e: &Expr, bound: &mut Vec<Name>) -> Expr {
+        match e {
+            Expr::Var(x) if !bound.iter().any(|b| b == x) => {
+                if let Some((body, _)) = self.macros.get(x) {
+                    return body.clone();
+                }
+                if self.externals.get(x).is_some() {
+                    return Expr::Ext(x.clone());
+                }
+                if self.vals.contains_key(x) {
+                    return Expr::Global(x.clone());
+                }
+                e.clone()
+            }
+            Expr::Var(_) => e.clone(),
+            Expr::Lam(x, body) => {
+                bound.push(x.clone());
+                let b = self.resolve_in(body, bound);
+                bound.pop();
+                Expr::Lam(x.clone(), b.boxed())
+            }
+            Expr::Let(x, rhs, body) => {
+                let r = self.resolve_in(rhs, bound);
+                bound.push(x.clone());
+                let b = self.resolve_in(body, bound);
+                bound.pop();
+                Expr::Let(x.clone(), r.boxed(), b.boxed())
+            }
+            Expr::BigUnion { head, var, src } => {
+                let s = self.resolve_in(src, bound);
+                bound.push(var.clone());
+                let h = self.resolve_in(head, bound);
+                bound.pop();
+                Expr::BigUnion { head: h.boxed(), var: var.clone(), src: s.boxed() }
+            }
+            Expr::BigBagUnion { head, var, src } => {
+                let s = self.resolve_in(src, bound);
+                bound.push(var.clone());
+                let h = self.resolve_in(head, bound);
+                bound.pop();
+                Expr::BigBagUnion { head: h.boxed(), var: var.clone(), src: s.boxed() }
+            }
+            Expr::Sum { head, var, src } => {
+                let s = self.resolve_in(src, bound);
+                bound.push(var.clone());
+                let h = self.resolve_in(head, bound);
+                bound.pop();
+                Expr::Sum { head: h.boxed(), var: var.clone(), src: s.boxed() }
+            }
+            Expr::BigUnionRank { head, var, rank, src } => {
+                let s = self.resolve_in(src, bound);
+                bound.push(var.clone());
+                bound.push(rank.clone());
+                let h = self.resolve_in(head, bound);
+                bound.pop();
+                bound.pop();
+                Expr::BigUnionRank {
+                    head: h.boxed(),
+                    var: var.clone(),
+                    rank: rank.clone(),
+                    src: s.boxed(),
+                }
+            }
+            Expr::BigBagUnionRank { head, var, rank, src } => {
+                let s = self.resolve_in(src, bound);
+                bound.push(var.clone());
+                bound.push(rank.clone());
+                let h = self.resolve_in(head, bound);
+                bound.pop();
+                bound.pop();
+                Expr::BigBagUnionRank {
+                    head: h.boxed(),
+                    var: var.clone(),
+                    rank: rank.clone(),
+                    src: s.boxed(),
+                }
+            }
+            Expr::Tab { head, idx } => {
+                let new_idx: Vec<(Name, Expr)> = idx
+                    .iter()
+                    .map(|(n, b)| (n.clone(), self.resolve_in(b, bound)))
+                    .collect();
+                for (n, _) in idx {
+                    bound.push(n.clone());
+                }
+                let h = self.resolve_in(head, bound);
+                for _ in idx {
+                    bound.pop();
+                }
+                Expr::Tab { head: h.boxed(), idx: new_idx }
+            }
+            _ => aql_opt::map_children(e, |c| self.resolve_in(c, bound)),
+        }
+    }
+
+    /// The evaluation context over this session's registries
+    /// (used by benches that need direct evaluator access).
+    pub fn eval_expr_raw(&self, e: &Expr) -> Result<Value, EvalError> {
+        let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits);
+        eval(e, &ctx)
+    }
+
+    /// Explain a query: run the pipeline up to (but not including)
+    /// evaluation and report the core term, its type, the optimized
+    /// term, and the full §5 rewrite trace.
+    pub fn explain(&self, query: &str) -> Result<Explain, LangError> {
+        let surface = crate::parser::parse_expr(query)?;
+        let core = desugar(&surface)?;
+        let resolved = self.resolve(&core);
+        let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
+        let (optimized, trace) = self.optimizer.optimize_traced(&resolved);
+        Ok(Explain { ty, core: resolved, optimized, trace })
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+/// Replace any unresolved inference variables in a statement's type
+/// with `nat` before storing it in the session. A type variable is
+/// only ever left over by genuinely ambiguous literals (`{}`,
+/// `[[0;]]`, `⊥`), and a stored variable would collide with fresh
+/// variables of later typechecker runs. Defaulting mirrors the numeric
+/// defaulting inside the checker.
+fn default_type_vars(t: &Type) -> Type {
+    use std::rc::Rc as StdRc;
+    match t {
+        Type::Var(_) => Type::Nat,
+        Type::Bool | Type::Nat | Type::Real | Type::Str | Type::Base(_) => t.clone(),
+        Type::Tuple(ts) => Type::Tuple(ts.iter().map(default_type_vars).collect::<Vec<_>>().into()),
+        Type::Set(e) => Type::Set(StdRc::new(default_type_vars(e))),
+        Type::Bag(e) => Type::Bag(StdRc::new(default_type_vars(e))),
+        Type::Array(e, k) => Type::Array(StdRc::new(default_type_vars(e)), *k),
+        Type::Fun(a, b) => Type::Fun(
+            StdRc::new(default_type_vars(a)),
+            StdRc::new(default_type_vars(b)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nats(ns: &[u64]) -> Value {
+        Value::set(ns.iter().map(|&n| Value::Nat(n)).collect())
+    }
+
+    #[test]
+    fn val_and_query() {
+        let mut s = Session::new();
+        let out = s
+            .run("val \\months = [[0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30]];")
+            .unwrap();
+        assert_eq!(out[0].ty, Some(Type::array1(Type::Nat)));
+        assert!(out[0].text.contains("typ months : [[nat]]_1"));
+        assert!(out[0].text.contains("val months = [[(0):0, (1):31, (2):28,"));
+
+        let (ty, v) = s.eval_query("months[1]").unwrap();
+        assert_eq!(ty, Type::Nat);
+        assert_eq!(v, Value::Nat(31));
+    }
+
+    #[test]
+    fn it_binds_last_result() {
+        let mut s = Session::new();
+        s.eval_query("1 + 1").unwrap();
+        let (_, v) = s.eval_query("it * 10").unwrap();
+        assert_eq!(v, Value::Nat(20));
+    }
+
+    #[test]
+    fn macro_definition_and_use() {
+        let mut s = Session::new();
+        let out = s
+            .run("macro \\double = fn \\x => x * 2;")
+            .unwrap();
+        assert!(out[0].text.contains("typ double : nat -> nat"));
+        assert!(out[0].text.contains("registered as macro"));
+        let (_, v) = s.eval_query("double!21").unwrap();
+        assert_eq!(v, Value::Nat(42));
+    }
+
+    #[test]
+    fn macros_can_use_macros() {
+        let mut s = Session::new();
+        s.run("macro \\inc = fn \\x => x + 1; macro \\inc2 = fn \\x => inc!(inc!x);")
+            .unwrap();
+        let (_, v) = s.eval_query("inc2!40").unwrap();
+        assert_eq!(v, Value::Nat(42));
+    }
+
+    #[test]
+    fn prelude_macros_work() {
+        let mut s = Session::new();
+        let (_, v) = s.eval_query("evenpos![[0, 1, 2, 3, 4, 5]]").unwrap();
+        let a = v.as_array().unwrap();
+        let got: Vec<u64> = a.data().iter().map(|x| x.as_nat().unwrap()).collect();
+        assert_eq!(got, vec![0, 2, 4]);
+
+        let (_, v) = s.eval_query("zip!([[1, 2]], [[5, 6, 7]])").unwrap();
+        assert_eq!(v.as_array().unwrap().dims(), &[2]);
+
+        let (_, v) = s.eval_query("subseq!([[0, 10, 20, 30]], 1, 2)").unwrap();
+        let got: Vec<u64> = v
+            .as_array()
+            .unwrap()
+            .data()
+            .iter()
+            .map(|x| x.as_nat().unwrap())
+            .collect();
+        assert_eq!(got, vec![10, 20]);
+
+        let (_, v) = s
+            .eval_query("matmul!([[2, 2; 1, 2, 3, 4]], [[2, 2; 5, 6, 7, 8]])")
+            .unwrap();
+        let got: Vec<u64> = v
+            .as_array()
+            .unwrap()
+            .data()
+            .iter()
+            .map(|x| x.as_nat().unwrap())
+            .collect();
+        assert_eq!(got, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn externals_register_and_shadow() {
+        let mut s = Session::new();
+        s.register_external(NativeFn::new(
+            "heatindex",
+            Type::fun(Type::array1(Type::Real), Type::Real),
+            |v| {
+                let a = v.as_array()?;
+                let mut sum = 0.0;
+                for x in a.data() {
+                    sum += x.as_real()?;
+                }
+                Ok(Value::Real(sum / a.len().max(1) as f64))
+            },
+        ));
+        let (ty, v) = s.eval_query("heatindex![[90.0, 100.0]]").unwrap();
+        assert_eq!(ty, Type::Real);
+        assert_eq!(v, Value::Real(95.0));
+        // Lexically bound names shadow externals.
+        let (_, v) = s.eval_query("(fn \\heatindex => heatindex + 1)!1").unwrap();
+        assert_eq!(v, Value::Nat(2));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.eval_query("1 + true"),
+            Err(LangError::Type(_))
+        ));
+        assert!(matches!(
+            s.eval_query("nosuchname!1"),
+            Err(LangError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn optimizer_toggle_preserves_results() {
+        let mut s = Session::new();
+        let q = "{d | \\d <- gen!10, \\A == subseq!([[ i * i | \\i < 100 ]], d, d + 3), A[0] % 2 = 0}";
+        let (_, v1) = s.eval_query(q).unwrap();
+        s.optimize = false;
+        let (_, v2) = s.eval_query(q).unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(v1, nats(&[0, 2, 4, 6, 8]));
+    }
+
+    #[test]
+    fn readval_writeval_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("aql-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.co");
+        let p = path.to_str().unwrap();
+
+        let mut s = Session::new();
+        s.run(&format!(
+            "val \\x = {{(1, 2.5), (2, 3.5)}}; writeval x using COFILE at \"{p}\";"
+        ))
+        .unwrap();
+        let out = s
+            .run(&format!("readval \\y using COFILE at \"{p}\";"))
+            .unwrap();
+        assert_eq!(
+            out[0].ty,
+            Some(Type::set(Type::tuple(vec![Type::Nat, Type::Real])))
+        );
+        let (_, v) = s.eval_query("{a | (\\a, _) <- y}").unwrap();
+        assert_eq!(v, nats(&[1, 2]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_reader_reported() {
+        let mut s = Session::new();
+        let err = s.run("readval \\x using NOPE at \"f\";").unwrap_err();
+        assert!(err.to_string().contains("NOPE"));
+    }
+
+    #[test]
+    fn session_echo_matches_paper_shape() {
+        let mut s = Session::new();
+        let out = s.run("{25, 27, 28};").unwrap();
+        assert!(out[0].text.contains("typ it : {nat}"));
+        assert!(out[0].text.contains("val it = {25, 27, 28}"));
+    }
+
+    #[test]
+    fn resource_limits_apply() {
+        let mut s = Session::new();
+        s.limits = Limits { max_elems: 100, max_steps: u64::MAX };
+        assert!(matches!(
+            s.eval_query("gen!1000"),
+            Err(LangError::Eval(EvalError::ResourceLimit { .. }))
+        ));
+    }
+
+    #[test]
+    fn bind_val_from_rust() {
+        let mut s = Session::new();
+        s.bind_val("T", Value::array1(vec![Value::Real(1.0), Value::Real(2.0)]))
+            .unwrap();
+        let (_, v) = s.eval_query("T[1]").unwrap();
+        assert_eq!(v, Value::Real(2.0));
+        // Ambiguous values are rejected.
+        assert!(s.bind_val("bad", Value::set(vec![])).is_err());
+    }
+
+    #[test]
+    fn odmg_primitives() {
+        let mut s = Session::new();
+        let as_nats = |v: &Value| -> Vec<u64> {
+            v.as_array()
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x.as_nat().unwrap())
+                .collect()
+        };
+        let (_, v) = s.eval_query("upd!([[1, 2, 3]], 1, 9)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 9, 3]);
+        let (_, v) = s.eval_query("resize!([[1, 2]], 4, 0)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 2, 0, 0]);
+        let (_, v) = s.eval_query("resize!([[1, 2, 3]], 2, 0)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 2], "resize can shrink");
+        let (_, v) = s.eval_query("insert_at!([[1, 3]], 1, 2)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 2, 3]);
+        let (_, v) = s.eval_query("insert_at!([[1]], 1, 2)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 2], "insert at the end");
+        let (_, v) = s.eval_query("remove_at!([[1, 2, 3]], 1)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 3]);
+        let (_, v) = s.eval_query("remove_at!([[7]], 0)").unwrap();
+        assert_eq!(as_nats(&v), Vec::<u64>::new());
+        // Out-of-bounds update is the identity on shape but hits ⊥ on
+        // no element — i.e. it leaves the array unchanged.
+        let (_, v) = s.eval_query("upd!([[1, 2]], 9, 0)").unwrap();
+        assert_eq!(as_nats(&v), vec![1, 2]);
+    }
+
+    #[test]
+    fn nearest_coordinate_lookup() {
+        let mut s = Session::new();
+        s.run("val \\lats = [[40.20, 40.45, 40.70, 40.95, 41.20]];")
+            .unwrap();
+        let (_, v) = s.eval_query("nearest!(lats, 40.7)").unwrap();
+        assert_eq!(v, Value::Nat(2));
+        let (_, v) = s.eval_query("nearest!(lats, 39.0)").unwrap();
+        assert_eq!(v, Value::Nat(0));
+        let (_, v) = s.eval_query("nearest!(lats, 99.0)").unwrap();
+        assert_eq!(v, Value::Nat(4));
+        // Ties resolve to the smaller index via the lexicographic
+        // (distance, index) minimum.
+        s.run("val \\grid = [[0.0, 1.0]];").unwrap();
+        let (_, v) = s.eval_query("nearest!(grid, 0.5)").unwrap();
+        assert_eq!(v, Value::Nat(0));
+        // Empty coordinate array → ⊥ (min of {} then projection). The
+        // empty literal's element type defaults to nat, so look up a nat.
+        s.run("val \\none = [[0; ]];").unwrap();
+        let (_, v) = s.eval_query("nearest!(none, 1)").unwrap();
+        assert!(v.is_bottom());
+    }
+
+    #[test]
+    fn graph_prelude_macro() {
+        let mut s = Session::new();
+        let (_, v) = s.eval_query("graph![[7, 9]]").unwrap();
+        assert_eq!(
+            v,
+            Value::set(vec![
+                Value::tuple(vec![Value::Nat(0), Value::Nat(7)]),
+                Value::tuple(vec![Value::Nat(1), Value::Nat(9)]),
+            ])
+        );
+    }
+}

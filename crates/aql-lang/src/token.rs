@@ -1,0 +1,228 @@
+//! Tokens of the AQL surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and names ------------------------------------------------
+    /// An identifier (may contain primes, e.g. `WS'`).
+    Ident(String),
+    /// A binding identifier `\x`.
+    Bind(String),
+    /// A natural literal.
+    Nat(u64),
+    /// A real literal.
+    Real(f64),
+    /// A string literal.
+    Str(String),
+
+    // Keywords ----------------------------------------------------------
+    /// `val`
+    Val,
+    /// `macro`
+    Macro,
+    /// `fn`
+    Fn,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `end`
+    End,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `union`
+    UnionKw,
+    /// `bunion` (bag union `⊎`)
+    BunionKw,
+    /// `readval`
+    Readval,
+    /// `writeval`
+    Writeval,
+    /// `using`
+    Using,
+    /// `at`
+    At,
+
+    // Punctuation ---------------------------------------------------------
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[[`
+    LLBrack,
+    /// `]]`
+    RRBrack,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{|`
+    LBagBrace,
+    /// `|}`
+    RBagBrace,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `|`
+    Pipe,
+    /// `<-`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `:==`
+    ColonBind,
+    /// `==`
+    EqEq,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `_`
+    Underscore,
+    /// `:` (array generator separator `[p : p]`)
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Bind(s) => write!(f, "\\{s}"),
+            Tok::Nat(n) => write!(f, "{n}"),
+            Tok::Real(r) => write!(f, "{r:?}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Val => write!(f, "val"),
+            Tok::Macro => write!(f, "macro"),
+            Tok::Fn => write!(f, "fn"),
+            Tok::If => write!(f, "if"),
+            Tok::Then => write!(f, "then"),
+            Tok::Else => write!(f, "else"),
+            Tok::Let => write!(f, "let"),
+            Tok::In => write!(f, "in"),
+            Tok::End => write!(f, "end"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::And => write!(f, "and"),
+            Tok::Or => write!(f, "or"),
+            Tok::Not => write!(f, "not"),
+            Tok::UnionKw => write!(f, "union"),
+            Tok::BunionKw => write!(f, "bunion"),
+            Tok::Readval => write!(f, "readval"),
+            Tok::Writeval => write!(f, "writeval"),
+            Tok::Using => write!(f, "using"),
+            Tok::At => write!(f, "at"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LLBrack => write!(f, "[["),
+            Tok::RRBrack => write!(f, "]]"),
+            Tok::LBrack => write!(f, "["),
+            Tok::RBrack => write!(f, "]"),
+            Tok::LBagBrace => write!(f, "{{|"),
+            Tok::RBagBrace => write!(f, "|}}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Arrow => write!(f, "<-"),
+            Tok::FatArrow => write!(f, "=>"),
+            Tok::ColonBind => write!(f, ":=="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Le => write!(f, "<="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Underscore => write!(f, "_"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position (byte offset and 1-based line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_spelling() {
+        for (tok, s) in [
+            (Tok::Arrow, "<-"),
+            (Tok::ColonBind, ":=="),
+            (Tok::FatArrow, "=>"),
+            (Tok::LLBrack, "[["),
+            (Tok::RRBrack, "]]"),
+            (Tok::LBagBrace, "{|"),
+            (Tok::RBagBrace, "|}"),
+            (Tok::Ne, "<>"),
+            (Tok::UnionKw, "union"),
+            (Tok::Readval, "readval"),
+        ] {
+            assert_eq!(tok.to_string(), s);
+        }
+        assert_eq!(Tok::Bind("x".into()).to_string(), "\\x");
+        assert_eq!(Tok::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+        assert_eq!(Tok::Real(2.5).to_string(), "2.5");
+    }
+}

@@ -1,0 +1,113 @@
+//! A coarse static cost model.
+//!
+//! Used by the experiment harness to *report* how much work the
+//! optimizer removed (e.g. that `β^p` eliminated a tabulation), not to
+//! guide rule application — the §5 normalization rules are
+//! unconditionally beneficial and need no costing. Loops are charged
+//! `DEFAULT_CARDINALITY` iterations when their extent is not a literal.
+
+use aql_core::expr::Expr;
+
+/// Assumed iteration count for loops with non-literal extents.
+pub const DEFAULT_CARDINALITY: u64 = 16;
+
+/// Estimate the cost of evaluating `e` once, in abstract units.
+pub fn cost(e: &Expr) -> u64 {
+    match e {
+        Expr::Var(_)
+        | Expr::Global(_)
+        | Expr::Ext(_)
+        | Expr::Nat(_)
+        | Expr::Real(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Empty
+        | Expr::BagEmpty
+        | Expr::Bottom => 1,
+        Expr::Lam(_, b) => 1 + cost(b) / 4, // body charged at call sites, roughly
+        Expr::App(f, a) => 2 + cost(f) + cost(a),
+        Expr::Let(_, a, b) => 1 + cost(a) + cost(b),
+        Expr::Tuple(es) | Expr::Prim(_, es) => 1 + es.iter().map(cost).sum::<u64>(),
+        Expr::Proj(_, _, a)
+        | Expr::Single(a)
+        | Expr::BagSingle(a)
+        | Expr::Get(a)
+        | Expr::Dim(_, a) => 1 + cost(a),
+        Expr::Union(a, b) | Expr::BagUnion(a, b) | Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => {
+            1 + cost(a) + cost(b)
+        }
+        Expr::If(c, t, f) => 1 + cost(c) + cost(t).max(cost(f)),
+        Expr::Gen(a) => cardinality(a) + cost(a),
+        Expr::BigUnion { head, src, .. }
+        | Expr::BigUnionRank { head, src, .. }
+        | Expr::BigBagUnion { head, src, .. }
+        | Expr::BigBagUnionRank { head, src, .. }
+        | Expr::Sum { head, src, .. } => cost(src) + cardinality(src).saturating_mul(cost(head)),
+        Expr::Tab { head, idx } => {
+            let iters: u64 = idx
+                .iter()
+                .map(|(_, b)| cardinality(b))
+                .fold(1u64, |a, b| a.saturating_mul(b));
+            idx.iter().map(|(_, b)| cost(b)).sum::<u64>() + iters.saturating_mul(cost(head))
+        }
+        Expr::Sub(a, ix) => 1 + cost(a) + ix.iter().map(cost).sum::<u64>(),
+        Expr::ArrayLit { dims, items } => {
+            1 + dims.iter().map(cost).sum::<u64>() + items.iter().map(cost).sum::<u64>()
+        }
+        Expr::Index(_, a) => cost(a) + cardinality(a),
+    }
+}
+
+/// Estimated number of elements produced by a source / extent
+/// expression.
+fn cardinality(e: &Expr) -> u64 {
+    match e {
+        Expr::Nat(n) => *n,
+        Expr::Gen(a) => cardinality(a),
+        Expr::Single(_) | Expr::BagSingle(_) => 1,
+        Expr::Empty | Expr::BagEmpty => 0,
+        Expr::Union(a, b) | Expr::BagUnion(a, b) => {
+            cardinality(a).saturating_add(cardinality(b))
+        }
+        _ => DEFAULT_CARDINALITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_core::expr::builder::*;
+
+    #[test]
+    fn literals_are_cheap() {
+        assert_eq!(cost(&nat(5)), 1);
+        assert!(cost(&add(nat(1), nat(2))) <= 4);
+    }
+
+    #[test]
+    fn loops_multiply() {
+        let small = tab1("i", nat(4), var("i"));
+        let big = tab1("i", nat(4000), var("i"));
+        assert!(cost(&big) > cost(&small) * 100);
+    }
+
+    #[test]
+    fn beta_p_reduces_cost() {
+        // The whole point: subscripting a tabulation costs ~the array,
+        // the β^p contractum costs O(1).
+        let tabbed = sub(tab1("i", nat(10_000), mul(var("i"), var("i"))), vec![nat(3)]);
+        let reduced = iff(
+            lt(nat(3), nat(10_000)),
+            mul(nat(3), nat(3)),
+            bottom(),
+        );
+        assert!(cost(&tabbed) > 100 * cost(&reduced));
+    }
+
+    #[test]
+    fn nested_loops_compound() {
+        let once = sum("x", gen(nat(100)), var("x"));
+        let nested = sum("y", gen(nat(100)), sum("x", gen(nat(100)), var("x")));
+        assert!(cost(&nested) > 50 * cost(&once));
+    }
+}

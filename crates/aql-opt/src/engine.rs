@@ -1,0 +1,370 @@
+//! The extensible rewrite engine.
+//!
+//! §4–§5 of the paper: "the rule bases, the rule application
+//! strategies, and the number of phases of this optimizer are
+//! extensible". An [`Optimizer`] is a sequence of [`Phase`]s; each
+//! phase owns an ordered list of [`Rule`]s and applies them bottom-up
+//! to a fixpoint (with a pass bound as a safety net). New rules and
+//! phases can be registered at run time, mirroring the paper's dynamic
+//! rule injection.
+
+use std::rc::Rc;
+
+use aql_core::expr::Expr;
+
+/// A rewrite rule. `apply` inspects only the *root* of the given
+/// expression and returns the replacement if the rule fires; the
+/// engine handles traversal. Rules must be semantics-preserving (for
+/// error-free programs, per the paper's conventions) and, jointly,
+/// terminating.
+pub trait Rule {
+    /// Rule name, used in traces.
+    fn name(&self) -> &'static str;
+    /// Attempt to rewrite the root of `e`.
+    fn apply(&self, e: &Expr) -> Option<Expr>;
+}
+
+/// One step of a rewrite, recorded when tracing.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The phase in which the rule fired.
+    pub phase: String,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Rendering of the redex (truncated).
+    pub before: String,
+    /// Rendering of the contractum (truncated).
+    pub after: String,
+}
+
+/// A full rewrite trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Steps in firing order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Number of rule firings.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Was anything rewritten?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// How many times a particular rule fired.
+    pub fn count(&self, rule: &str) -> usize {
+        self.steps.iter().filter(|s| s.rule == rule).count()
+    }
+
+    /// A human-readable rendering of the trace.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            let _ = writeln!(out, "{:>4}. [{}] {}", i + 1, s.phase, s.rule);
+            let _ = writeln!(out, "      {}  ~>  {}", s.before, s.after);
+        }
+        out
+    }
+}
+
+fn clip(e: &Expr) -> String {
+    let s = e.to_string();
+    if s.len() > 120 {
+        format!("{}…", &s[..s.char_indices().take_while(|(i, _)| *i < 117).count()])
+    } else {
+        s
+    }
+}
+
+/// An ordered group of rules applied together to a fixpoint.
+pub struct Phase {
+    /// Phase name (e.g. "normalize").
+    pub name: String,
+    rules: Vec<Rc<dyn Rule>>,
+    /// Upper bound on full bottom-up passes (safety net; the standard
+    /// rule sets reach a fixpoint well before this).
+    pub max_passes: usize,
+}
+
+impl Phase {
+    /// An empty phase.
+    pub fn new(name: &str) -> Phase {
+        Phase { name: name.to_string(), rules: Vec::new(), max_passes: 64 }
+    }
+
+    /// Append a rule (applied after already-registered rules).
+    pub fn add_rule(&mut self, rule: Rc<dyn Rule>) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Run the phase to a fixpoint.
+    pub fn run(&self, e: &Expr, trace: Option<&mut Trace>) -> Expr {
+        let mut cur = e.clone();
+        let mut trace = trace;
+        for _ in 0..self.max_passes {
+            let mut fired = 0usize;
+            cur = self.pass(&cur, &mut fired, trace.as_deref_mut());
+            if fired == 0 {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// One bottom-up pass: rewrite children first, then apply rules at
+    /// this node until none fires (bounded).
+    fn pass(&self, e: &Expr, fired: &mut usize, mut trace: Option<&mut Trace>) -> Expr {
+        let rebuilt = map_children(e, |c| self.pass(c, fired, trace.as_deref_mut()));
+        let mut cur = rebuilt;
+        // Re-apply at the root while rules fire; a small bound keeps a
+        // misbehaving user rule from looping forever.
+        'outer: for _ in 0..32 {
+            for r in &self.rules {
+                if let Some(next) = r.apply(&cur) {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.steps.push(TraceStep {
+                            phase: self.name.clone(),
+                            rule: r.name(),
+                            before: clip(&cur),
+                            after: clip(&next),
+                        });
+                    }
+                    *fired += 1;
+                    cur = next;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        cur
+    }
+}
+
+/// A multi-phase optimizer.
+pub struct Optimizer {
+    phases: Vec<Phase>,
+}
+
+impl Optimizer {
+    /// An optimizer with no phases (identity).
+    pub fn empty() -> Optimizer {
+        Optimizer { phases: Vec::new() }
+    }
+
+    /// Build from phases.
+    pub fn with_phases(phases: Vec<Phase>) -> Optimizer {
+        Optimizer { phases }
+    }
+
+    /// Append a phase (runs after existing phases).
+    pub fn add_phase(&mut self, phase: Phase) -> &mut Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Mutable access to a phase by name, for dynamic rule injection.
+    pub fn phase_mut(&mut self, name: &str) -> Option<&mut Phase> {
+        self.phases.iter_mut().find(|p| p.name == name)
+    }
+
+    /// Optimize an expression.
+    pub fn optimize(&self, e: &Expr) -> Expr {
+        let mut cur = e.clone();
+        for p in &self.phases {
+            cur = p.run(&cur, None);
+        }
+        cur
+    }
+
+    /// Optimize and record every rule firing.
+    pub fn optimize_traced(&self, e: &Expr) -> (Expr, Trace) {
+        let mut trace = Trace::default();
+        let mut cur = e.clone();
+        for p in &self.phases {
+            cur = p.run(&cur, Some(&mut trace));
+        }
+        (cur, trace)
+    }
+}
+
+/// Rebuild an expression by mapping a function over its immediate
+/// children. Binder structure is preserved untouched — rules that need
+/// capture-awareness use `aql_core::expr::free`.
+pub fn map_children(e: &Expr, mut f: impl FnMut(&Expr) -> Expr) -> Expr {
+    use Expr::*;
+    match e {
+        Var(_) | Global(_) | Ext(_) | Empty | BagEmpty | Bool(_) | Nat(_) | Real(_)
+        | Str(_) | Bottom => e.clone(),
+        Lam(x, b) => Lam(x.clone(), f(b).boxed()),
+        App(a, b) => App(f(a).boxed(), f(b).boxed()),
+        Let(x, a, b) => Let(x.clone(), f(a).boxed(), f(b).boxed()),
+        Tuple(es) => Tuple(es.iter().map(&mut f).collect()),
+        Proj(i, k, a) => Proj(*i, *k, f(a).boxed()),
+        Single(a) => Single(f(a).boxed()),
+        Union(a, b) => Union(f(a).boxed(), f(b).boxed()),
+        BigUnion { head, var, src } => BigUnion {
+            head: f(head).boxed(),
+            var: var.clone(),
+            src: f(src).boxed(),
+        },
+        BigUnionRank { head, var, rank, src } => BigUnionRank {
+            head: f(head).boxed(),
+            var: var.clone(),
+            rank: rank.clone(),
+            src: f(src).boxed(),
+        },
+        BagSingle(a) => BagSingle(f(a).boxed()),
+        BagUnion(a, b) => BagUnion(f(a).boxed(), f(b).boxed()),
+        BigBagUnion { head, var, src } => BigBagUnion {
+            head: f(head).boxed(),
+            var: var.clone(),
+            src: f(src).boxed(),
+        },
+        BigBagUnionRank { head, var, rank, src } => BigBagUnionRank {
+            head: f(head).boxed(),
+            var: var.clone(),
+            rank: rank.clone(),
+            src: f(src).boxed(),
+        },
+        If(c, t, e2) => If(f(c).boxed(), f(t).boxed(), f(e2).boxed()),
+        Cmp(op, a, b) => Cmp(*op, f(a).boxed(), f(b).boxed()),
+        Arith(op, a, b) => Arith(*op, f(a).boxed(), f(b).boxed()),
+        Gen(a) => Gen(f(a).boxed()),
+        Sum { head, var, src } => Sum {
+            head: f(head).boxed(),
+            var: var.clone(),
+            src: f(src).boxed(),
+        },
+        Tab { head, idx } => Tab {
+            head: f(head).boxed(),
+            idx: idx.iter().map(|(n, b)| (n.clone(), f(b))).collect(),
+        },
+        Sub(a, ix) => Sub(f(a).boxed(), ix.iter().map(&mut f).collect()),
+        Dim(k, a) => Dim(*k, f(a).boxed()),
+        ArrayLit { dims, items } => ArrayLit {
+            dims: dims.iter().map(&mut f).collect(),
+            items: items.iter().map(&mut f).collect(),
+        },
+        Index(k, a) => Index(*k, f(a).boxed()),
+        Get(a) => Get(f(a).boxed()),
+        Prim(p, es) => Prim(*p, es.iter().map(f).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_core::expr::builder::*;
+
+    /// A toy rule: fold `0 + e` to `e`.
+    struct ZeroAdd;
+    impl Rule for ZeroAdd {
+        fn name(&self) -> &'static str {
+            "zero-add"
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            match e {
+                Expr::Arith(aql_core::expr::ArithOp::Add, a, b) if **a == Expr::Nat(0) => {
+                    Some((**b).clone())
+                }
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn phase_reaches_fixpoint() {
+        let mut p = Phase::new("test");
+        p.add_rule(Rc::new(ZeroAdd));
+        // 0 + (0 + (0 + x)) → x, requiring nested rewrites.
+        let e = add(nat(0), add(nat(0), add(nat(0), var("x"))));
+        let got = p.run(&e, None);
+        assert_eq!(got, var("x"));
+    }
+
+    #[test]
+    fn trace_records_firings() {
+        let mut p = Phase::new("test");
+        p.add_rule(Rc::new(ZeroAdd));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        let e = add(nat(0), add(nat(0), var("x")));
+        let (got, trace) = opt.optimize_traced(&e);
+        assert_eq!(got, var("x"));
+        assert_eq!(trace.count("zero-add"), 2);
+        assert!(trace.render().contains("zero-add"));
+    }
+
+    #[test]
+    fn empty_optimizer_is_identity() {
+        let e = add(nat(1), var("y"));
+        assert_eq!(Optimizer::empty().optimize(&e), e);
+    }
+
+    #[test]
+    fn dynamic_rule_injection() {
+        let mut opt = Optimizer::empty();
+        opt.add_phase(Phase::new("custom"));
+        opt.phase_mut("custom")
+            .expect("phase exists")
+            .add_rule(Rc::new(ZeroAdd));
+        let e = add(nat(0), nat(7));
+        assert_eq!(opt.optimize(&e), nat(7));
+        assert!(opt.phase_mut("missing").is_none());
+    }
+
+    #[test]
+    fn map_children_rebuilds() {
+        let e = add(nat(1), nat(2));
+        let got = map_children(&e, |_| nat(9));
+        assert_eq!(got, add(nat(9), nat(9)));
+    }
+
+    /// A hostile rule that never stops rewriting (ping-pongs between
+    /// two forms). The engine's pass and per-node bounds must still
+    /// terminate.
+    struct PingPong;
+    impl Rule for PingPong {
+        fn name(&self) -> &'static str {
+            "ping-pong"
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            match e {
+                Expr::Arith(op, a, b) => Some(Expr::Arith(*op, b.clone(), a.clone())),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_rules_cannot_hang_the_engine() {
+        let mut p = Phase::new("hostile");
+        p.add_rule(Rc::new(PingPong));
+        let e = add(nat(1), add(nat(2), nat(3)));
+        // Must return; the exact result is unspecified but well-formed.
+        let got = p.run(&e, None);
+        assert!(got.size() == e.size());
+    }
+
+    #[test]
+    fn trace_clips_huge_terms() {
+        // A large redex renders truncated in the trace, not in full.
+        let mut inner = var("x");
+        for _ in 0..100 {
+            inner = add(inner, var("quite_a_long_variable_name"));
+        }
+        let mut p = Phase::new("test");
+        p.add_rule(Rc::new(ZeroAdd));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        let (_, trace) = opt.optimize_traced(&add(nat(0), inner));
+        assert_eq!(trace.len(), 1);
+        assert!(trace.steps[0].before.chars().count() <= 121);
+    }
+}

@@ -1,0 +1,32 @@
+//! E10: ablation of the optimizer phases on an invariant-heavy loop.
+
+use aql_bench::{workload, BenchEnv};
+use aql_core::derived;
+use aql_core::expr::builder::*;
+use aql_opt::{normalize_and_eliminate, normalizer, optimize};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_ablation");
+    g.sample_size(10);
+    let n = 1024usize;
+    let env = BenchEnv::new(vec![("A", workload::nat_array(n, 1_000, 43))]);
+    let q = sum(
+        "x",
+        gen(nat(n as u64)),
+        add(var("x"), set_max(derived::rng(global("A")))),
+    );
+    let configs = [
+        ("off", q.clone()),
+        ("normalize", normalizer().optimize(&q)),
+        ("norm_checks", normalize_and_eliminate().optimize(&q)),
+        ("full", optimize(&q)),
+    ];
+    for (name, e) in configs {
+        g.bench_function(name, |b| b.iter(|| std::hint::black_box(env.eval(&e))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

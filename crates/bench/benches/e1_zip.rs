@@ -1,0 +1,32 @@
+//! E1: zip of two length-n arrays — array tabulation vs the quadratic
+//! set encoding (§1).
+
+use aql_bench::{workload, BenchEnv};
+use aql_core::derived;
+use aql_core::expr::builder::global;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_zip");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let env = BenchEnv::new(vec![
+            ("A", workload::nat_array(n, 1_000, 11)),
+            ("B", workload::nat_array(n, 1_000, 13)),
+        ]);
+        let fast = derived::zip(global("A"), global("B"));
+        g.bench_with_input(BenchmarkId::new("arrays", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&fast)))
+        });
+        if n <= 256 {
+            let slow = derived::zip_via_sets(global("A"), global("B"));
+            g.bench_with_input(BenchmarkId::new("sets", n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(env.eval(&slow)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

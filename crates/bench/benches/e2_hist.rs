@@ -1,0 +1,27 @@
+//! E2: hist (O(n·m)) vs hist' via index (O(m + n log n)) (§2).
+
+use aql_bench::{workload, BenchEnv};
+use aql_core::derived;
+use aql_core::expr::builder::global;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_hist");
+    g.sample_size(10);
+    let n = 128;
+    for m in [64u64, 512, 2048] {
+        let env = BenchEnv::new(vec![("A", workload::nat_array(n, m, 17))]);
+        let hist = derived::hist(global("A"));
+        let histp = derived::hist_indexed(global("A"));
+        g.bench_with_input(BenchmarkId::new("hist", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&hist)))
+        });
+        g.bench_with_input(BenchmarkId::new("hist_indexed", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&histp)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

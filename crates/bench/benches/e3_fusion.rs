@@ -1,0 +1,33 @@
+//! E3: zip∘(subseq,subseq) vs subseq∘zip, raw and normalized (§1, §5).
+
+use aql_bench::{workload, BenchEnv};
+use aql_core::derived;
+use aql_core::expr::builder::{global, nat};
+use aql_opt::optimize;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_fusion");
+    g.sample_size(10);
+    let n = 4096usize;
+    let env = BenchEnv::new(vec![
+        ("A", workload::nat_array(n, 1_000, 23)),
+        ("B", workload::nat_array(n, 1_000, 29)),
+    ]);
+    let (lo, hi) = (nat(n as u64 / 4), nat(3 * n as u64 / 4));
+    let q1 = derived::zip(
+        derived::subseq(global("A"), lo.clone(), hi.clone()),
+        derived::subseq(global("B"), lo.clone(), hi.clone()),
+    );
+    let q2 = derived::subseq(derived::zip(global("A"), global("B")), lo, hi);
+    let o1 = optimize(&q1);
+    let o2 = optimize(&q2);
+    g.bench_function("zip_first_raw", |b| b.iter(|| std::hint::black_box(env.eval(&q1))));
+    g.bench_function("zip_first_opt", |b| b.iter(|| std::hint::black_box(env.eval(&o1))));
+    g.bench_function("subseq_first_raw", |b| b.iter(|| std::hint::black_box(env.eval(&q2))));
+    g.bench_function("subseq_first_opt", |b| b.iter(|| std::hint::black_box(env.eval(&o2))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4: array literal via the append chain (O(n²)) vs the row-major
+//! construct (O(n)) (§3).
+
+use aql_bench::BenchEnv;
+use aql_core::derived;
+use aql_core::expr::builder::{array1_lit, nat};
+use aql_core::expr::Expr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_literal");
+    g.sample_size(10);
+    let env = BenchEnv::new(vec![]);
+    for n in [32usize, 64, 128] {
+        let items: Vec<Expr> = (0..n as u64).map(nat).collect();
+        let slow = derived::literal_via_append(items.clone());
+        let fast = array1_lit(items);
+        g.bench_with_input(BenchmarkId::new("append_chain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&slow)))
+        });
+        g.bench_with_input(BenchmarkId::new("row_major", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&fast)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E5: β^p and δ^p — subscript/len of a tabulation with and without
+//! the optimizer (§5).
+
+use aql_bench::BenchEnv;
+use aql_core::expr::builder::*;
+use aql_opt::optimize;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_beta_delta");
+    g.sample_size(10);
+    let env = BenchEnv::new(vec![]);
+    for n in [10_000u64, 100_000] {
+        let sub_e = sub(tab1("i", nat(n), mul(var("i"), var("i"))), vec![nat(n / 2)]);
+        let len_e = len(tab1("i", nat(n), mul(var("i"), var("i"))));
+        let sub_o = optimize(&sub_e);
+        let len_o = optimize(&len_e);
+        g.bench_with_input(BenchmarkId::new("subscript_raw", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&sub_e)))
+        });
+        g.bench_with_input(BenchmarkId::new("subscript_opt", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&sub_o)))
+        });
+        g.bench_with_input(BenchmarkId::new("len_raw", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&len_e)))
+        });
+        g.bench_with_input(BenchmarkId::new("len_opt", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&len_o)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

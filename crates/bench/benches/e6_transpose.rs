@@ -1,0 +1,32 @@
+//! E6: transpose of a tabulation — unfused vs the derived fused rule
+//! (§5).
+
+use aql_bench::BenchEnv;
+use aql_core::derived;
+use aql_core::expr::builder::*;
+use aql_opt::normalize_and_eliminate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_transpose");
+    g.sample_size(10);
+    let env = BenchEnv::new(vec![]);
+    for m in [64usize, 128] {
+        let tabbed = tab(
+            vec![("i", nat(m as u64)), ("j", nat(m as u64))],
+            add(mul(var("i"), nat(1_000)), var("j")),
+        );
+        let e = derived::transpose(tabbed);
+        let o = normalize_and_eliminate().optimize(&e);
+        g.bench_with_input(BenchmarkId::new("unfused", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&e)))
+        });
+        g.bench_with_input(BenchmarkId::new("fused", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&o)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E7: the index construct — n pairs with maximum key m (§2).
+
+use aql_bench::{workload, BenchEnv};
+use aql_core::expr::builder::{global, index};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_index");
+    g.sample_size(10);
+    for (n, m) in [(1024usize, 256u64), (1024, 16_384), (4096, 256)] {
+        let env = BenchEnv::new(vec![("S", workload::keyed_set(n, m, 31))]);
+        let e = index(1, global("S"));
+        g.bench_with_input(
+            BenchmarkId::new("index", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| std::hint::black_box(env.eval(&e))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

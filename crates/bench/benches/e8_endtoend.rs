@@ -1,0 +1,53 @@
+//! E8: the §1 heat-index query end-to-end through the full pipeline
+//! and NetCDF driver, with the optimizer on and off.
+
+use aql::externals::register_heatindex;
+use aql::netcdf::driver::register_netcdf;
+use aql::netcdf::synth;
+use aql_lang::session::Session;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const QUERY: &str = r#"{d | \d <- gen!30,
+     \WS' == evenpos!(proj_col!(WS, 0)),
+     \TRW == zip_3!(T, RH, WS'),
+     \A == subseq!(TRW, d*24, d*24+23),
+     heatindex!(A) > threshold}"#;
+
+fn session() -> Session {
+    let dir = std::env::temp_dir().join("aql-bench-e8");
+    let (_, june) = synth::write_example_data(&dir).expect("synthetic data");
+    let p = june.to_str().expect("utf-8");
+    let mut s = Session::new();
+    register_netcdf(&mut s);
+    register_heatindex(&mut s);
+    let hours = synth::JUNE_HOURS as u64;
+    s.run(&format!(
+        r#"readval \T using NETCDF1 at ("{p}", "T", 0, {th});
+           readval \RH using NETCDF1 at ("{p}", "RH", 0, {th});
+           readval \WS using NETCDF2 at ("{p}", "WS", (0, 0), ({wh}, {lh}));
+           val \threshold = 96.0;"#,
+        th = hours - 1,
+        wh = 2 * hours - 1,
+        lh = synth::WS_LEVELS - 1,
+    ))
+    .expect("setup");
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_endtoend");
+    g.sample_size(10);
+    let mut s = session();
+    g.bench_function("optimized", |b| {
+        s.optimize = true;
+        b.iter(|| std::hint::black_box(s.eval_query(QUERY).expect("query")))
+    });
+    g.bench_function("unoptimized", |b| {
+        s.optimize = false;
+        b.iter(|| std::hint::black_box(s.eval_query(QUERY).expect("query")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E9: expressiveness — evenpos natively vs via the §6 graph encoding
+//! in NRC_r.
+
+use aql_bench::{workload, BenchEnv};
+use aql_core::derived;
+use aql_core::expr::builder::global;
+use aql_core::rank;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_rank");
+    g.sample_size(10);
+    for n in [512usize, 2048] {
+        let arr = workload::nat_array(n, 1_000, 37);
+        let graph = rank::graph_value(arr.as_array().expect("array")).expect("graph");
+        let mut env = BenchEnv::new(vec![("A", arr)]);
+        env.bind("G", graph);
+        let native = derived::evenpos(global("A"));
+        let encoded = rank::evenpos_on_graph(global("G"));
+        g.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&native)))
+        });
+        g.bench_with_input(BenchmarkId::new("graph_encoded", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(env.eval(&encoded)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

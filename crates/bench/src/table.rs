@@ -1,0 +1,117 @@
+//! Plain-text result tables for the experiment harness.
+
+use std::fmt;
+
+/// A simple aligned table with a title and commentary.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment title (e.g. "E1: zip — arrays vs sets").
+    pub title: String,
+    /// The paper claim being reproduced.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation, filled in by the experiment.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, claim: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Set the verdict line.
+    pub fn set_verdict(&mut self, v: impl Into<String>) {
+        self.verdict = v.into();
+    }
+
+    /// A cell from anything displayable.
+    pub fn cell(x: impl fmt::Display) -> String {
+        x.to_string()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        // Column widths.
+        let ncols = self.headers.len();
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:>width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{:-<1$}|", "", width + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "=> {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0: demo", "a claim", &["n", "time"]);
+        t.row(vec!["16".into(), "1.0 µs".into()]);
+        t.row(vec!["1024".into(), "64.0 µs".into()]);
+        t.set_verdict("linear");
+        let s = t.to_string();
+        assert!(s.contains("## E0: demo"));
+        assert!(s.contains("claim: a claim"));
+        assert!(s.contains("=> linear"));
+        // Alignment: all table lines have the same printed width
+        // (chars, not bytes — cells may contain µ).
+        let rows: Vec<usize> = s
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(rows.windows(2).all(|w| w[0] == w[1]), "{rows:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", "y", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Workload generators (seeded, deterministic).
+
+use std::rc::Rc;
+
+use aql_core::value::{ArrayVal, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 1-d array of `n` uniform naturals in `[0, max_val)`.
+pub fn nat_array(n: usize, max_val: u64, seed: u64) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Value::array1((0..n).map(|_| Value::Nat(rng.gen_range(0..max_val.max(1)))).collect())
+}
+
+/// A 1-d array of `n` reals in `[lo, hi)`.
+pub fn real_array(n: usize, lo: f64, hi: f64, seed: u64) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Value::array1((0..n).map(|_| Value::Real(rng.gen_range(lo..hi))).collect())
+}
+
+/// An `r × c` matrix of naturals in `[0, max_val)`.
+pub fn nat_matrix(r: usize, c: usize, max_val: u64, seed: u64) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..r * c)
+        .map(|_| Value::Nat(rng.gen_range(0..max_val.max(1))))
+        .collect();
+    Value::Array(Rc::new(
+        ArrayVal::new(vec![r as u64, c as u64], data).expect("consistent shape"),
+    ))
+}
+
+/// A set of `(key, value)` pairs with keys in `[0, key_range)` — the
+/// `index` workload of E7.
+pub fn keyed_set(n: usize, key_range: u64, seed: u64) -> Value {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Value::set(
+        (0..n)
+            .map(|i| {
+                Value::tuple(vec![
+                    Value::Nat(rng.gen_range(0..key_range.max(1))),
+                    Value::Nat(i as u64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(nat_array(64, 100, 7), nat_array(64, 100, 7));
+        assert_ne!(nat_array(64, 100, 7), nat_array(64, 100, 8));
+    }
+
+    #[test]
+    fn shapes() {
+        let a = nat_array(10, 5, 1);
+        assert_eq!(a.as_array().unwrap().dims(), &[10]);
+        let m = nat_matrix(3, 4, 10, 1);
+        assert_eq!(m.as_array().unwrap().dims(), &[3, 4]);
+        let s = keyed_set(20, 8, 1);
+        assert!(s.as_set().unwrap().len() <= 20);
+        let r = real_array(5, 0.0, 1.0, 1);
+        assert!(r.as_array().unwrap().data().iter().all(|v| {
+            let x = v.as_real().unwrap();
+            (0.0..1.0).contains(&x)
+        }));
+    }
+
+    #[test]
+    fn values_in_range() {
+        let a = nat_array(256, 10, 3);
+        assert!(a
+            .as_array()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|v| v.as_nat().unwrap() < 10));
+    }
+}

@@ -1,0 +1,667 @@
+//! The NRCA typechecker, implementing the typing rules of Fig. 1.
+//!
+//! Inference is monomorphic unification: `{}`, `⊥` and λ-parameters
+//! get fresh variables that the surrounding context pins down, so the
+//! paper's queries typecheck without annotations. Two deferred
+//! constraint kinds are collected during inference and discharged at
+//! the end:
+//!
+//! * **numeric** — operand types of the arithmetic operators and `Σ`
+//!   must resolve to `nat` or `real` (the paper's operators are on `N`;
+//!   we overload at `real`, which the paper's own session arithmetic
+//!   uses). Still-unresolved numeric types default to `nat`.
+//! * **object** — element types of sets/bags/arrays and operand types
+//!   of comparisons must be object types (no arrows), since only
+//!   object types carry the canonical order `≤_t`.
+
+pub mod unify;
+
+use std::collections::HashMap;
+
+use crate::error::TypeError;
+use crate::expr::{Expr, Name};
+use crate::prim::Extensions;
+use crate::types::Type;
+
+use unify::Unifier;
+
+/// Typecheck a closed expression (free term variables only through
+/// `globals` / `externals`). Returns the resolved result type.
+pub fn typecheck(
+    e: &Expr,
+    globals: &HashMap<Name, Type>,
+    externals: &Extensions,
+) -> Result<Type, TypeError> {
+    let mut cx = Checker {
+        uni: Unifier::new(),
+        globals,
+        externals,
+        numeric: Vec::new(),
+        object: Vec::new(),
+    };
+    let mut env = Vec::new();
+    let t = cx.infer(&mut env, e)?;
+    cx.discharge()?;
+    Ok(cx.uni.resolve(&t))
+}
+
+/// Typecheck with no globals or externals.
+pub fn typecheck_closed(e: &Expr) -> Result<Type, TypeError> {
+    typecheck(e, &HashMap::new(), &Extensions::new())
+}
+
+struct Checker<'a> {
+    uni: Unifier,
+    globals: &'a HashMap<Name, Type>,
+    externals: &'a Extensions,
+    /// Types that must resolve to `nat` or `real`.
+    numeric: Vec<Type>,
+    /// Types that must resolve to object types, with a description for
+    /// error messages.
+    object: Vec<(Type, &'static str)>,
+}
+
+type Env = Vec<(Name, Type)>;
+
+/// Does the type contain a function arrow anywhere?
+fn contains_arrow(t: &Type) -> bool {
+    match t {
+        Type::Fun(..) => true,
+        Type::Bool | Type::Nat | Type::Real | Type::Str | Type::Base(_) | Type::Var(_) => false,
+        Type::Tuple(ts) => ts.iter().any(contains_arrow),
+        Type::Set(t) | Type::Bag(t) | Type::Array(t, _) => contains_arrow(t),
+    }
+}
+
+impl<'a> Checker<'a> {
+    fn discharge(&mut self) -> Result<(), TypeError> {
+        for t in std::mem::take(&mut self.numeric) {
+            let r = self.uni.resolve(&t);
+            match r {
+                Type::Nat | Type::Real => {}
+                Type::Var(_) => {
+                    // Default unconstrained numeric types to nat.
+                    self.uni.unify(&t, &Type::Nat)?;
+                }
+                other => return Err(TypeError::NotNumeric(other)),
+            }
+        }
+        for (t, what) in std::mem::take(&mut self.object) {
+            let r = self.uni.resolve(&t);
+            // A function type is never an object type, even partially
+            // resolved; purely-unresolved parts are tolerated (e.g. the
+            // literal `{}` on its own).
+            if contains_arrow(&r) {
+                let _ = what;
+                return Err(TypeError::NotObject(r));
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&mut self, env: &Env, x: &Name) -> Result<Type, TypeError> {
+        if let Some((_, t)) = env.iter().rev().find(|(n, _)| n == x) {
+            return Ok(t.clone());
+        }
+        if let Some(t) = self.globals.get(x) {
+            return Ok(t.clone());
+        }
+        Err(TypeError::Unbound(x.to_string()))
+    }
+
+    fn infer(&mut self, env: &mut Env, e: &Expr) -> Result<Type, TypeError> {
+        match e {
+            Expr::Var(x) => self.lookup(env, x),
+            Expr::Global(x) => self
+                .globals
+                .get(x)
+                .cloned()
+                .ok_or_else(|| TypeError::Unbound(x.to_string())),
+            Expr::Ext(x) => self
+                .externals
+                .type_of(x)
+                .cloned()
+                .ok_or_else(|| TypeError::Unbound(x.to_string())),
+            Expr::Lam(x, body) => {
+                let a = self.uni.fresh();
+                env.push((x.clone(), a.clone()));
+                let t = self.infer(env, body)?;
+                env.pop();
+                Ok(Type::fun(a, t))
+            }
+            Expr::App(f, a) => {
+                let tf = self.infer(env, f)?;
+                let ta = self.infer(env, a)?;
+                let r = self.uni.fresh();
+                self.uni.unify(&tf, &Type::fun(ta, r.clone()))?;
+                Ok(r)
+            }
+            Expr::Let(x, bound, body) => {
+                let tb = self.infer(env, bound)?;
+                env.push((x.clone(), tb));
+                let t = self.infer(env, body)?;
+                env.pop();
+                Ok(t)
+            }
+            Expr::Tuple(items) => {
+                let ts: Result<Vec<Type>, TypeError> =
+                    items.iter().map(|it| self.infer(env, it)).collect();
+                Ok(Type::tuple(ts?))
+            }
+            Expr::Proj(i, k, e) => {
+                if *k < 2 || *i < 1 || i > k {
+                    return Err(TypeError::BadProjection { index: *i, arity: *k });
+                }
+                let te = self.infer(env, e)?;
+                let comps: Vec<Type> = (0..*k).map(|_| self.uni.fresh()).collect();
+                self.uni.unify(&te, &Type::tuple(comps.clone()))?;
+                Ok(comps[*i - 1].clone())
+            }
+            Expr::Empty => {
+                let a = self.uni.fresh();
+                self.object.push((a.clone(), "set element"));
+                Ok(Type::set(a))
+            }
+            Expr::Single(e) => {
+                let t = self.infer(env, e)?;
+                self.object.push((t.clone(), "set element"));
+                Ok(Type::set(t))
+            }
+            Expr::Union(a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                self.uni.unify(&ta, &tb)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ta, &Type::set(elem.clone()))?;
+                self.object.push((elem, "set element"));
+                Ok(ta)
+            }
+            Expr::BigUnion { head, var, src } => {
+                let ts = self.infer(env, src)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ts, &Type::set(elem.clone()))?;
+                env.push((var.clone(), elem));
+                let th = self.infer(env, head)?;
+                env.pop();
+                let out = self.uni.fresh();
+                self.uni.unify(&th, &Type::set(out.clone()))?;
+                self.object.push((out, "set element"));
+                Ok(th)
+            }
+            Expr::BigUnionRank { head, var, rank, src } => {
+                let ts = self.infer(env, src)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ts, &Type::set(elem.clone()))?;
+                env.push((var.clone(), elem));
+                env.push((rank.clone(), Type::Nat));
+                let th = self.infer(env, head)?;
+                env.pop();
+                env.pop();
+                let out = self.uni.fresh();
+                self.uni.unify(&th, &Type::set(out.clone()))?;
+                self.object.push((out, "set element"));
+                Ok(th)
+            }
+            Expr::BagEmpty => {
+                let a = self.uni.fresh();
+                self.object.push((a.clone(), "bag element"));
+                Ok(Type::bag(a))
+            }
+            Expr::BagSingle(e) => {
+                let t = self.infer(env, e)?;
+                self.object.push((t.clone(), "bag element"));
+                Ok(Type::bag(t))
+            }
+            Expr::BagUnion(a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                self.uni.unify(&ta, &tb)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ta, &Type::bag(elem.clone()))?;
+                self.object.push((elem, "bag element"));
+                Ok(ta)
+            }
+            Expr::BigBagUnion { head, var, src } => {
+                let ts = self.infer(env, src)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ts, &Type::bag(elem.clone()))?;
+                env.push((var.clone(), elem));
+                let th = self.infer(env, head)?;
+                env.pop();
+                let out = self.uni.fresh();
+                self.uni.unify(&th, &Type::bag(out.clone()))?;
+                self.object.push((out, "bag element"));
+                Ok(th)
+            }
+            Expr::BigBagUnionRank { head, var, rank, src } => {
+                let ts = self.infer(env, src)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ts, &Type::bag(elem.clone()))?;
+                env.push((var.clone(), elem));
+                env.push((rank.clone(), Type::Nat));
+                let th = self.infer(env, head)?;
+                env.pop();
+                env.pop();
+                let out = self.uni.fresh();
+                self.uni.unify(&th, &Type::bag(out.clone()))?;
+                self.object.push((out, "bag element"));
+                Ok(th)
+            }
+            Expr::Bool(_) => Ok(Type::Bool),
+            Expr::If(c, t, f) => {
+                let tc = self.infer(env, c)?;
+                self.uni.unify(&tc, &Type::Bool)?;
+                let tt = self.infer(env, t)?;
+                let tf = self.infer(env, f)?;
+                self.uni.unify(&tt, &tf)?;
+                Ok(tt)
+            }
+            Expr::Cmp(_, a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                self.uni.unify(&ta, &tb)?;
+                self.object.push((ta, "comparison operand"));
+                Ok(Type::Bool)
+            }
+            Expr::Nat(_) => Ok(Type::Nat),
+            Expr::Real(_) => Ok(Type::Real),
+            Expr::Str(_) => Ok(Type::Str),
+            Expr::Arith(_, a, b) => {
+                let ta = self.infer(env, a)?;
+                let tb = self.infer(env, b)?;
+                self.uni.unify(&ta, &tb)?;
+                self.numeric.push(ta.clone());
+                Ok(ta)
+            }
+            Expr::Gen(e) => {
+                let t = self.infer(env, e)?;
+                self.uni.unify(&t, &Type::Nat)?;
+                Ok(Type::set(Type::Nat))
+            }
+            Expr::Sum { head, var, src } => {
+                let ts = self.infer(env, src)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&ts, &Type::set(elem.clone()))?;
+                env.push((var.clone(), elem));
+                let th = self.infer(env, head)?;
+                env.pop();
+                self.numeric.push(th.clone());
+                Ok(th)
+            }
+            Expr::Tab { head, idx } => {
+                for (_, b) in idx {
+                    let tb = self.infer(env, b)?;
+                    self.uni.unify(&tb, &Type::Nat)?;
+                }
+                let k = idx.len();
+                for (n, _) in idx {
+                    env.push((n.clone(), Type::Nat));
+                }
+                let th = self.infer(env, head)?;
+                for _ in 0..k {
+                    env.pop();
+                }
+                self.object.push((th.clone(), "array element"));
+                Ok(Type::array(th, k))
+            }
+            Expr::Sub(arr, idx) => {
+                let ta = self.infer(env, arr)?;
+                if idx.len() >= 2 {
+                    for i in idx {
+                        let ti = self.infer(env, i)?;
+                        self.uni.unify(&ti, &Type::Nat)?;
+                    }
+                    let elem = self.uni.fresh();
+                    self.uni.unify(&ta, &Type::array(elem.clone(), idx.len()))?;
+                    Ok(elem)
+                } else {
+                    // A single index of type N^k subscripts a k-d array:
+                    // resolve the index type to learn k; an unresolved
+                    // index defaults to nat (k = 1).
+                    let ti = self.infer(env, &idx[0])?;
+                    let k = match self.uni.resolve(&ti) {
+                        Type::Tuple(comps) => {
+                            for c in comps.iter() {
+                                self.uni.unify(c, &Type::Nat)?;
+                            }
+                            comps.len()
+                        }
+                        _ => {
+                            self.uni.unify(&ti, &Type::Nat)?;
+                            1
+                        }
+                    };
+                    let elem = self.uni.fresh();
+                    self.uni.unify(&ta, &Type::array(elem.clone(), k))?;
+                    Ok(elem)
+                }
+            }
+            Expr::Dim(k, e) => {
+                let te = self.infer(env, e)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&te, &Type::array(elem, *k))?;
+                Ok(Type::nat_power(*k))
+            }
+            Expr::ArrayLit { dims, items } => {
+                for d in dims {
+                    let td = self.infer(env, d)?;
+                    self.uni.unify(&td, &Type::Nat)?;
+                }
+                let elem = self.uni.fresh();
+                for it in items {
+                    let ti = self.infer(env, it)?;
+                    self.uni.unify(&ti, &elem)?;
+                }
+                // Static shape check when all dimensions are literals.
+                let static_dims: Option<Vec<u64>> = dims
+                    .iter()
+                    .map(|d| match d {
+                        Expr::Nat(n) => Some(*n),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(ds) = static_dims {
+                    let expect: u64 = ds.iter().product();
+                    if expect != items.len() as u64 {
+                        return Err(TypeError::LiteralShape { expect, got: items.len() });
+                    }
+                }
+                self.object.push((elem.clone(), "array element"));
+                Ok(Type::array(elem, dims.len()))
+            }
+            Expr::Index(k, e) => {
+                let te = self.infer(env, e)?;
+                let val = self.uni.fresh();
+                let pair = Type::tuple(vec![Type::nat_power(*k), val.clone()]);
+                self.uni.unify(&te, &Type::set(pair))?;
+                self.object.push((val.clone(), "indexed value"));
+                Ok(Type::array(Type::set(val), *k))
+            }
+            Expr::Get(e) => {
+                let te = self.infer(env, e)?;
+                let elem = self.uni.fresh();
+                self.uni.unify(&te, &Type::set(elem.clone()))?;
+                Ok(elem)
+            }
+            Expr::Bottom => Ok(self.uni.fresh()),
+            Expr::Prim(p, args) => {
+                if args.len() != p.arity() {
+                    return Err(TypeError::Other(format!(
+                        "primitive `{}` expects {} argument(s), got {}",
+                        p.name(),
+                        p.arity(),
+                        args.len()
+                    )));
+                }
+                match p {
+                    crate::expr::Prim::Member => {
+                        let tx = self.infer(env, &args[0])?;
+                        let ts = self.infer(env, &args[1])?;
+                        self.uni.unify(&ts, &Type::set(tx.clone()))?;
+                        self.object.push((tx, "membership operand"));
+                        Ok(Type::Bool)
+                    }
+                    crate::expr::Prim::MinSet | crate::expr::Prim::MaxSet => {
+                        let ts = self.infer(env, &args[0])?;
+                        let elem = self.uni.fresh();
+                        self.uni.unify(&ts, &Type::set(elem.clone()))?;
+                        self.object.push((elem.clone(), "min/max operand"));
+                        Ok(elem)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builder::*;
+    use crate::prim::NativeFn;
+    use crate::value::Value;
+
+    fn check(e: &Expr) -> Result<Type, TypeError> {
+        typecheck_closed(e)
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(check(&nat(3)).unwrap(), Type::Nat);
+        assert_eq!(check(&real(2.5)).unwrap(), Type::Real);
+        assert_eq!(check(&strlit("x")).unwrap(), Type::Str);
+        assert_eq!(check(&Expr::Bool(true)).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn lambda_and_application() {
+        // λx. x + 1 : nat -> nat (numeric default pins nat).
+        let e = lam("x", add(var("x"), nat(1)));
+        assert_eq!(check(&e).unwrap(), Type::fun(Type::Nat, Type::Nat));
+        let e = app(lam("x", var("x")), real(1.0));
+        assert_eq!(check(&e).unwrap(), Type::Real);
+    }
+
+    #[test]
+    fn real_arithmetic_overload() {
+        let e = add(real(1.0), real(2.0));
+        assert_eq!(check(&e).unwrap(), Type::Real);
+        let e = add(real(1.0), nat(2));
+        assert!(check(&e).is_err(), "nat and real do not mix");
+        let e = add(Expr::Bool(true), Expr::Bool(false));
+        assert!(matches!(check(&e), Err(TypeError::NotNumeric(_))));
+    }
+
+    #[test]
+    fn set_constructs() {
+        let e = union(single(nat(1)), empty());
+        assert_eq!(check(&e).unwrap(), Type::set(Type::Nat));
+        let e = big_union("x", gen(nat(10)), single(mul(var("x"), var("x"))));
+        assert_eq!(check(&e).unwrap(), Type::set(Type::Nat));
+        // Functions cannot be set elements.
+        let e = single(lam("x", var("x")));
+        assert!(matches!(check(&e), Err(TypeError::NotObject(_))));
+    }
+
+    #[test]
+    fn sum_and_gen() {
+        let e = sum("x", gen(nat(5)), var("x"));
+        assert_eq!(check(&e).unwrap(), Type::Nat);
+        let e = gen(Expr::Bool(true));
+        assert!(check(&e).is_err());
+    }
+
+    #[test]
+    fn array_tabulation_and_subscript() {
+        // map (×2): [[A[i] * 2 | i < len A]] given A.
+        let e = lam(
+            "A",
+            tab1(
+                "i",
+                len(var("A")),
+                mul(sub(var("A"), vec![var("i")]), nat(2)),
+            ),
+        );
+        assert_eq!(
+            check(&e).unwrap(),
+            Type::fun(Type::array1(Type::Nat), Type::array1(Type::Nat))
+        );
+    }
+
+    #[test]
+    fn multidim_dim_and_sub() {
+        // transpose : [[t]]_2 -> [[t]]_2 with t pinned by use.
+        let e = lam(
+            "M",
+            tab(
+                vec![
+                    ("j", dim_ik(2, 2, var("M"))),
+                    ("i", dim_ik(1, 2, var("M"))),
+                ],
+                sub(var("M"), vec![var("i"), var("j")]),
+            ),
+        );
+        let t = check(&e).unwrap();
+        match t {
+            Type::Fun(a, b) => {
+                assert!(matches!(&*a, Type::Array(_, 2)));
+                assert!(matches!(&*b, Type::Array(_, 2)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn subscript_by_tuple_expression() {
+        // λp. M[p] where p : nat * nat — used by the transpose derivation.
+        let e = lam(
+            "M",
+            lam(
+                "p",
+                sub(var("M"), vec![tuple(vec![fst(var("p")), snd(var("p"))])]),
+            ),
+        );
+        // Single-element Sub whose index is a pair expression.
+        let e2 = lam("M", lam("p", sub(var("M"), vec![var("p")])));
+        // The second fails to resolve p's type before the subscript, so it
+        // defaults to k=1 and then M : [[t]]_1 with p : nat.
+        let t2 = check(&e2).unwrap();
+        match t2 {
+            Type::Fun(a, _) => assert!(matches!(&*a, Type::Array(_, 1))),
+            other => panic!("unexpected {other}"),
+        }
+        // The first has an explicit tuple, so k=2 is inferred.
+        let t = check(&e).unwrap();
+        match t {
+            Type::Fun(a, _) => assert!(matches!(&*a, Type::Array(_, 2))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn array_literal_shapes() {
+        let ok = array_lit(vec![nat(2), nat(2)], vec![nat(1), nat(2), nat(3), nat(4)]);
+        assert_eq!(check(&ok).unwrap(), Type::array(Type::Nat, 2));
+        let bad = array_lit(vec![nat(2), nat(2)], vec![nat(1)]);
+        assert!(matches!(check(&bad), Err(TypeError::LiteralShape { .. })));
+        // Dynamic dims skip the static check.
+        let dynamic = lam("n", array_lit(vec![var("n")], vec![nat(1), nat(2)]));
+        assert!(check(&dynamic).is_ok());
+    }
+
+    #[test]
+    fn index_typing() {
+        // index_1 : {nat × t} → [[{t}]]_1
+        let e = index(
+            1,
+            union(
+                single(tuple(vec![nat(1), strlit("a")])),
+                single(tuple(vec![nat(3), strlit("b")])),
+            ),
+        );
+        assert_eq!(
+            check(&e).unwrap(),
+            Type::array1(Type::set(Type::Str))
+        );
+        // index_2 needs pairs with N^2 keys.
+        let e = index(2, single(tuple(vec![tuple(vec![nat(0), nat(1)]), nat(9)])));
+        assert_eq!(
+            check(&e).unwrap(),
+            Type::array(Type::set(Type::Nat), 2)
+        );
+    }
+
+    #[test]
+    fn get_and_bottom() {
+        assert_eq!(check(&get(single(nat(5)))).unwrap(), Type::Nat);
+        // ⊥ takes any type from context.
+        let e = iff(Expr::Bool(true), nat(1), bottom());
+        assert_eq!(check(&e).unwrap(), Type::Nat);
+    }
+
+    #[test]
+    fn comparisons_at_complex_types() {
+        let e = eq(single(nat(1)), single(nat(1)));
+        assert_eq!(check(&e).unwrap(), Type::Bool);
+        let e = lt(tuple(vec![nat(1), nat(2)]), tuple(vec![nat(1), nat(3)]));
+        assert_eq!(check(&e).unwrap(), Type::Bool);
+        // Comparing functions is rejected.
+        let e = eq(lam("x", var("x")), lam("y", var("y")));
+        assert!(check(&e).is_err());
+    }
+
+    #[test]
+    fn prims() {
+        let e = member(nat(1), gen(nat(5)));
+        assert_eq!(check(&e).unwrap(), Type::Bool);
+        let e = set_min(gen(nat(5)));
+        assert_eq!(check(&e).unwrap(), Type::Nat);
+        let e = Expr::Prim(crate::expr::Prim::MinSet, vec![nat(1), nat(2)]);
+        assert!(check(&e).is_err(), "arity mismatch");
+    }
+
+    #[test]
+    fn unbound_variables_reported() {
+        assert!(matches!(check(&var("nope")), Err(TypeError::Unbound(_))));
+        assert!(matches!(check(&global("g")), Err(TypeError::Unbound(_))));
+        assert!(matches!(check(&ext("f")), Err(TypeError::Unbound(_))));
+    }
+
+    #[test]
+    fn globals_and_externals() {
+        let mut globals = HashMap::new();
+        globals.insert(crate::expr::name("T"), Type::array(Type::Real, 3));
+        let mut exts = Extensions::new();
+        exts.register(NativeFn::new(
+            "heatindex",
+            Type::fun(Type::array1(Type::Real), Type::Real),
+            |_| Ok(Value::Real(0.0)),
+        ));
+        let e = dim(3, global("T"));
+        assert_eq!(
+            typecheck(&e, &globals, &exts).unwrap(),
+            Type::nat_power(3)
+        );
+        let e = app(ext("heatindex"), array1_lit(vec![real(90.0)]));
+        assert_eq!(typecheck(&e, &globals, &exts).unwrap(), Type::Real);
+        let e = app(ext("heatindex"), nat(3));
+        assert!(typecheck(&e, &globals, &exts).is_err());
+    }
+
+    #[test]
+    fn ranked_union_typing() {
+        // rank(X) = ∪_r{ {(x, i)} | x_i ∈ X } : {t × nat}
+        let e = big_union_rank(
+            "x",
+            "i",
+            gen(nat(4)),
+            single(tuple(vec![var("x"), var("i")])),
+        );
+        assert_eq!(
+            check(&e).unwrap(),
+            Type::set(Type::tuple(vec![Type::Nat, Type::Nat]))
+        );
+    }
+
+    #[test]
+    fn bag_typing() {
+        let e = bag_union(bag_single(nat(1)), Expr::BagEmpty);
+        assert_eq!(check(&e).unwrap(), Type::bag(Type::Nat));
+        let e = big_bag_union("x", bag_single(nat(2)), bag_single(mul(var("x"), nat(3))));
+        assert_eq!(check(&e).unwrap(), Type::bag(Type::Nat));
+    }
+
+    #[test]
+    fn shadowing_resolves_innermost() {
+        let e = lam("x", lam("x", add(var("x"), nat(1))));
+        // Outer x is unconstrained, inner is nat; the outer parameter
+        // remains a variable but the expression typechecks.
+        let t = check(&e).unwrap();
+        match t {
+            Type::Fun(_, inner) => {
+                assert_eq!(*inner, Type::fun(Type::Nat, Type::Nat));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types shared across the crate.
+//!
+//! The paper distinguishes the *error value* `⊥` (a first-class object
+//! used by the optimizer to express partiality, e.g. in the `β^p` rule)
+//! from host-level failures. `⊥` is [`crate::value::Value::Bottom`] and
+//! propagates strictly through evaluation; the errors here are genuine
+//! host failures (unbound names, resource exhaustion, ill-typed
+//! programs reaching the evaluator, failing external primitives).
+
+use std::fmt;
+
+use crate::types::Type;
+
+/// A failure while typechecking an NRCA expression.
+#[allow(missing_docs)] // variant fields are described on the variants
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was used without being bound.
+    Unbound(String),
+    /// Two types failed to unify.
+    Mismatch { expected: String, found: String },
+    /// The occurs check failed (infinite type).
+    Occurs,
+    /// Projection index out of range for the product arity.
+    BadProjection { index: usize, arity: usize },
+    /// Arithmetic/order applied at a non-admissible type.
+    NotNumeric(Type),
+    /// A non-object type (function / unresolved) where an object type is
+    /// required, e.g. as a set element.
+    NotObject(Type),
+    /// The type could not be fully inferred.
+    Ambiguous(String),
+    /// A row-major array literal whose static item count does not match
+    /// the product of its static dimensions (§3: "undefined if the
+    /// number of value expressions doesn't match").
+    LiteralShape { expect: u64, got: usize },
+    /// Array subscript arity does not match the array dimensionality.
+    SubscriptArity { dims: usize, given: usize },
+    /// Anything else, with a message.
+    Other(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::Mismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TypeError::Occurs => write!(f, "occurs check failed: infinite type"),
+            TypeError::BadProjection { index, arity } => {
+                write!(f, "projection #{index} out of range for {arity}-tuple")
+            }
+            TypeError::NotNumeric(t) => write!(f, "arithmetic at non-numeric type {t}"),
+            TypeError::NotObject(t) => write!(f, "{t} is not an object type"),
+            TypeError::Ambiguous(what) => write!(f, "cannot infer type of {what}"),
+            TypeError::LiteralShape { expect, got } => write!(
+                f,
+                "array literal shape mismatch: dimensions require {expect} values, got {got}"
+            ),
+            TypeError::SubscriptArity { dims, given } => write!(
+                f,
+                "subscript arity mismatch: array has {dims} dimension(s), {given} index(es) given"
+            ),
+            TypeError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A host-level failure while evaluating a compiled NRCA expression.
+#[allow(missing_docs)] // variant fields are described on the variants
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An unbound global `val` or external primitive (a session-level
+    /// registration is missing).
+    UnboundGlobal(String),
+    /// Natural-number arithmetic overflowed `u64`.
+    Overflow,
+    /// A tabulation / `gen` / `index` would materialise more elements
+    /// than the configured limit.
+    ResourceLimit { requested: u64, limit: u64 },
+    /// The step budget was exhausted (guards runaway queries in tests).
+    StepLimit,
+    /// An external primitive failed.
+    External { name: String, message: String },
+    /// A value of the wrong shape reached an operation; this indicates
+    /// an ill-typed term was evaluated (e.g. optimizer bug).
+    IllTyped(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundGlobal(x) => write!(f, "unbound global or external `{x}`"),
+            EvalError::Overflow => write!(f, "natural-number overflow"),
+            EvalError::ResourceLimit { requested, limit } => write!(
+                f,
+                "resource limit exceeded: {requested} elements requested, limit {limit}"
+            ),
+            EvalError::StepLimit => write!(f, "evaluation step limit exhausted"),
+            EvalError::External { name, message } => {
+                write!(f, "external primitive `{name}` failed: {message}")
+            }
+            EvalError::IllTyped(m) => write!(f, "ill-typed value at runtime: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TypeError::Mismatch {
+            expected: "nat".into(),
+            found: "bool".into(),
+        };
+        assert!(e.to_string().contains("expected nat"));
+        let e = EvalError::ResourceLimit {
+            requested: 100,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("limit 10"));
+    }
+}

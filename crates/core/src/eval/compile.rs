@@ -1,0 +1,278 @@
+//! Compilation of the named AST to a nameless (de-Bruijn) form.
+//!
+//! This is the "code generator" step of the paper's query pipeline:
+//! after optimization, names are resolved once so that evaluation does
+//! no string lookups. Free variables that are not lexically bound
+//! compile to [`CExpr::Global`] references, resolved against the
+//! session's `val` registry at evaluation time.
+
+use std::rc::Rc;
+
+use crate::error::EvalError;
+use crate::expr::{ArithOp, CmpOp, Expr, Name, Prim};
+
+/// A compiled NRCA expression. Structure mirrors [`Expr`] with binders
+/// made positional: `Var(0)` is the innermost binding.
+#[allow(missing_docs)] // variant fields are described on the variants
+#[derive(Debug, Clone)]
+pub enum CExpr {
+    /// de-Bruijn variable reference.
+    Var(usize),
+    /// Session `val` reference, resolved at evaluation time.
+    Global(Name),
+    /// External primitive reference.
+    Ext(Name),
+    /// λ body (one binder).
+    Lam(Rc<CExpr>),
+    /// Application.
+    App(Rc<CExpr>, Rc<CExpr>),
+    /// `let` (one binder in the second component).
+    Let(Rc<CExpr>, Rc<CExpr>),
+    /// Tuple formation.
+    Tuple(Vec<CExpr>),
+    /// Projection.
+    Proj(usize, usize, Rc<CExpr>),
+    /// `{}`
+    Empty,
+    /// `{e}`
+    Single(Rc<CExpr>),
+    /// `∪`
+    Union(Rc<CExpr>, Rc<CExpr>),
+    /// Big union; `head` has one extra binder (the element).
+    BigUnion { head: Rc<CExpr>, src: Rc<CExpr> },
+    /// Ranked big union; `head` has two extra binders
+    /// (element at index 1, rank at index 0).
+    BigUnionRank { head: Rc<CExpr>, src: Rc<CExpr> },
+    /// `{||}`
+    BagEmpty,
+    /// `{|e|}`
+    BagSingle(Rc<CExpr>),
+    /// `⊎`
+    BagUnion(Rc<CExpr>, Rc<CExpr>),
+    /// Big bag union (one extra binder).
+    BigBagUnion { head: Rc<CExpr>, src: Rc<CExpr> },
+    /// Ranked big bag union (two extra binders).
+    BigBagUnionRank { head: Rc<CExpr>, src: Rc<CExpr> },
+    /// Boolean literal.
+    Bool(bool),
+    /// Conditional.
+    If(Rc<CExpr>, Rc<CExpr>, Rc<CExpr>),
+    /// Comparison.
+    Cmp(CmpOp, Rc<CExpr>, Rc<CExpr>),
+    /// Natural literal.
+    Nat(u64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(Rc<str>),
+    /// Arithmetic.
+    Arith(ArithOp, Rc<CExpr>, Rc<CExpr>),
+    /// `gen`
+    Gen(Rc<CExpr>),
+    /// Summation (one extra binder in `head`).
+    Sum { head: Rc<CExpr>, src: Rc<CExpr> },
+    /// Tabulation: `head` has `bounds.len()` extra binders; the *last*
+    /// index variable is de-Bruijn 0.
+    Tab { head: Rc<CExpr>, bounds: Vec<CExpr> },
+    /// Subscript.
+    Sub(Rc<CExpr>, Vec<CExpr>),
+    /// `dim_k`
+    Dim(usize, Rc<CExpr>),
+    /// Row-major array literal.
+    ArrayLit { dims: Vec<CExpr>, items: Vec<CExpr> },
+    /// `index_k`
+    Index(usize, Rc<CExpr>),
+    /// `get`
+    Get(Rc<CExpr>),
+    /// `⊥`
+    Bottom,
+    /// Built-in primitive application.
+    Prim(Prim, Vec<CExpr>),
+}
+
+/// Compile a named expression. Never fails for well-typed input; the
+/// `Result` accommodates internal invariant violations surfaced as
+/// [`EvalError::IllTyped`].
+pub fn compile(e: &Expr) -> Result<CExpr, EvalError> {
+    let mut scope: Vec<Name> = Vec::new();
+    go(e, &mut scope)
+}
+
+fn rc(e: CExpr) -> Rc<CExpr> {
+    Rc::new(e)
+}
+
+fn go(e: &Expr, scope: &mut Vec<Name>) -> Result<CExpr, EvalError> {
+    Ok(match e {
+        Expr::Var(x) => match scope.iter().rposition(|n| n == x) {
+            Some(pos) => CExpr::Var(scope.len() - 1 - pos),
+            // Free names fall through to the session's `val` registry.
+            None => CExpr::Global(x.clone()),
+        },
+        Expr::Global(x) => CExpr::Global(x.clone()),
+        Expr::Ext(x) => CExpr::Ext(x.clone()),
+        Expr::Lam(x, body) => {
+            scope.push(x.clone());
+            let b = go(body, scope)?;
+            scope.pop();
+            CExpr::Lam(rc(b))
+        }
+        Expr::App(f, a) => CExpr::App(rc(go(f, scope)?), rc(go(a, scope)?)),
+        Expr::Let(x, bound, body) => {
+            let b = go(bound, scope)?;
+            scope.push(x.clone());
+            let body = go(body, scope)?;
+            scope.pop();
+            CExpr::Let(rc(b), rc(body))
+        }
+        Expr::Tuple(items) => CExpr::Tuple(
+            items.iter().map(|i| go(i, scope)).collect::<Result<_, _>>()?,
+        ),
+        Expr::Proj(i, k, e) => CExpr::Proj(*i, *k, rc(go(e, scope)?)),
+        Expr::Empty => CExpr::Empty,
+        Expr::Single(e) => CExpr::Single(rc(go(e, scope)?)),
+        Expr::Union(a, b) => CExpr::Union(rc(go(a, scope)?), rc(go(b, scope)?)),
+        Expr::BigUnion { head, var, src } => {
+            let s = go(src, scope)?;
+            scope.push(var.clone());
+            let h = go(head, scope)?;
+            scope.pop();
+            CExpr::BigUnion { head: rc(h), src: rc(s) }
+        }
+        Expr::BigUnionRank { head, var, rank, src } => {
+            let s = go(src, scope)?;
+            scope.push(var.clone());
+            scope.push(rank.clone());
+            let h = go(head, scope)?;
+            scope.pop();
+            scope.pop();
+            CExpr::BigUnionRank { head: rc(h), src: rc(s) }
+        }
+        Expr::BagEmpty => CExpr::BagEmpty,
+        Expr::BagSingle(e) => CExpr::BagSingle(rc(go(e, scope)?)),
+        Expr::BagUnion(a, b) => CExpr::BagUnion(rc(go(a, scope)?), rc(go(b, scope)?)),
+        Expr::BigBagUnion { head, var, src } => {
+            let s = go(src, scope)?;
+            scope.push(var.clone());
+            let h = go(head, scope)?;
+            scope.pop();
+            CExpr::BigBagUnion { head: rc(h), src: rc(s) }
+        }
+        Expr::BigBagUnionRank { head, var, rank, src } => {
+            let s = go(src, scope)?;
+            scope.push(var.clone());
+            scope.push(rank.clone());
+            let h = go(head, scope)?;
+            scope.pop();
+            scope.pop();
+            CExpr::BigBagUnionRank { head: rc(h), src: rc(s) }
+        }
+        Expr::Bool(b) => CExpr::Bool(*b),
+        Expr::If(c, t, f) => CExpr::If(rc(go(c, scope)?), rc(go(t, scope)?), rc(go(f, scope)?)),
+        Expr::Cmp(op, a, b) => CExpr::Cmp(*op, rc(go(a, scope)?), rc(go(b, scope)?)),
+        Expr::Nat(n) => CExpr::Nat(*n),
+        Expr::Real(r) => CExpr::Real(*r),
+        Expr::Str(s) => CExpr::Str(s.clone()),
+        Expr::Arith(op, a, b) => CExpr::Arith(*op, rc(go(a, scope)?), rc(go(b, scope)?)),
+        Expr::Gen(e) => CExpr::Gen(rc(go(e, scope)?)),
+        Expr::Sum { head, var, src } => {
+            let s = go(src, scope)?;
+            scope.push(var.clone());
+            let h = go(head, scope)?;
+            scope.pop();
+            CExpr::Sum { head: rc(h), src: rc(s) }
+        }
+        Expr::Tab { head, idx } => {
+            // Bounds are evaluated outside the index binders.
+            let bounds: Vec<CExpr> = idx
+                .iter()
+                .map(|(_, b)| go(b, scope))
+                .collect::<Result<_, _>>()?;
+            for (n, _) in idx {
+                scope.push(n.clone());
+            }
+            let h = go(head, scope)?;
+            for _ in idx {
+                scope.pop();
+            }
+            CExpr::Tab { head: rc(h), bounds }
+        }
+        Expr::Sub(arr, idx) => CExpr::Sub(
+            rc(go(arr, scope)?),
+            idx.iter().map(|i| go(i, scope)).collect::<Result<_, _>>()?,
+        ),
+        Expr::Dim(k, e) => CExpr::Dim(*k, rc(go(e, scope)?)),
+        Expr::ArrayLit { dims, items } => CExpr::ArrayLit {
+            dims: dims.iter().map(|d| go(d, scope)).collect::<Result<_, _>>()?,
+            items: items.iter().map(|i| go(i, scope)).collect::<Result<_, _>>()?,
+        },
+        Expr::Index(k, e) => CExpr::Index(*k, rc(go(e, scope)?)),
+        Expr::Get(e) => CExpr::Get(rc(go(e, scope)?)),
+        Expr::Bottom => CExpr::Bottom,
+        Expr::Prim(p, args) => CExpr::Prim(
+            *p,
+            args.iter().map(|a| go(a, scope)).collect::<Result<_, _>>()?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::builder::*;
+
+    #[test]
+    fn de_bruijn_indices() {
+        // λx.λy. x - y: x is index 1, y is index 0.
+        let e = lam("x", lam("y", monus(var("x"), var("y"))));
+        let c = compile(&e).unwrap();
+        match c {
+            CExpr::Lam(b1) => match &*b1 {
+                CExpr::Lam(b2) => match &**b2 {
+                    CExpr::Arith(ArithOp::Monus, a, b) => {
+                        assert!(matches!(**a, CExpr::Var(1)));
+                        assert!(matches!(**b, CExpr::Var(0)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_picks_innermost() {
+        let e = lam("x", lam("x", var("x")));
+        let c = compile(&e).unwrap();
+        match c {
+            CExpr::Lam(b1) => match &*b1 {
+                CExpr::Lam(b2) => assert!(matches!(&**b2, CExpr::Var(0))),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_names_become_globals() {
+        let c = compile(&var("months")).unwrap();
+        assert!(matches!(c, CExpr::Global(n) if &*n == "months"));
+    }
+
+    #[test]
+    fn tab_binders_positioned() {
+        // [[ i | i < n, j < m ]]: head sees j at 0, i at 1; the bounds
+        // see neither.
+        let e = tab(vec![("i", var("i")), ("j", var("j"))], var("i"));
+        let c = compile(&e).unwrap();
+        match c {
+            CExpr::Tab { head, bounds } => {
+                assert!(matches!(&*head, CExpr::Var(1)));
+                assert!(matches!(&bounds[0], CExpr::Global(n) if &**n == "i"));
+                assert!(matches!(&bounds[1], CExpr::Global(n) if &**n == "j"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! A printer for core-calculus terms.
+//!
+//! Used by the optimizer's rewrite traces, the REPL's `macro`
+//! registration echo, and test failure messages. The notation follows
+//! the paper: `U{e | \x <- s}` for big union, `sum{e | \x <- s}` for
+//! summation, `[[e | \i < b]]` for tabulation, `_|_` for errors.
+
+use std::fmt;
+
+use super::Expr;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self, f)
+    }
+}
+
+/// Is the expression self-delimiting (never needs parentheses)?
+fn atomic(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Var(_)
+            | Expr::Global(_)
+            | Expr::Ext(_)
+            | Expr::Tuple(_)
+            | Expr::Empty
+            | Expr::Single(_)
+            | Expr::BagEmpty
+            | Expr::BagSingle(_)
+            | Expr::BigUnion { .. }
+            | Expr::BigUnionRank { .. }
+            | Expr::BigBagUnion { .. }
+            | Expr::BigBagUnionRank { .. }
+            | Expr::Sum { .. }
+            | Expr::Bool(_)
+            | Expr::Nat(_)
+            | Expr::Real(_)
+            | Expr::Str(_)
+            | Expr::Tab { .. }
+            | Expr::ArrayLit { .. }
+            | Expr::Bottom
+            | Expr::Gen(_)
+            | Expr::Dim(_, _)
+            | Expr::Index(_, _)
+            | Expr::Get(_)
+            | Expr::Proj(_, _, _)
+            | Expr::Prim(_, _)
+    )
+}
+
+fn paren(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if atomic(e) {
+        write_expr(e, f)
+    } else {
+        write!(f, "(")?;
+        write_expr(e, f)?;
+        write!(f, ")")
+    }
+}
+
+fn write_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Var(x) => write!(f, "{x}"),
+        Expr::Global(x) => write!(f, "{x}"),
+        Expr::Ext(x) => write!(f, "{x}"),
+        Expr::Lam(x, body) => write!(f, "fn \\{x} => {body}"),
+        Expr::App(fun, arg) => {
+            paren(fun, f)?;
+            write!(f, "!")?;
+            paren(arg, f)
+        }
+        Expr::Let(x, bound, body) => {
+            write!(f, "let val \\{x} = {bound} in {body} end")
+        }
+        Expr::Tuple(items) => {
+            write!(f, "(")?;
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(it, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Proj(i, k, e) => {
+            write!(f, "pi_{i}_{k}!")?;
+            paren(e, f)
+        }
+        Expr::Empty => write!(f, "{{}}"),
+        Expr::Single(e) => write!(f, "{{{e}}}"),
+        Expr::Union(a, b) => {
+            paren(a, f)?;
+            write!(f, " union ")?;
+            paren(b, f)
+        }
+        Expr::BigUnion { head, var, src } => write!(f, "U{{{head} | \\{var} <- {src}}}"),
+        Expr::BigUnionRank { head, var, rank, src } => {
+            write!(f, "Ur{{{head} | \\{var}_\\{rank} <- {src}}}")
+        }
+        Expr::BagEmpty => write!(f, "{{||}}"),
+        Expr::BagSingle(e) => write!(f, "{{|{e}|}}"),
+        Expr::BagUnion(a, b) => {
+            paren(a, f)?;
+            write!(f, " bunion ")?;
+            paren(b, f)
+        }
+        Expr::BigBagUnion { head, var, src } => {
+            write!(f, "B{{|{head} | \\{var} <- {src}|}}")
+        }
+        Expr::BigBagUnionRank { head, var, rank, src } => {
+            write!(f, "Br{{|{head} | \\{var}_\\{rank} <- {src}|}}")
+        }
+        Expr::Bool(b) => write!(f, "{b}"),
+        Expr::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+        Expr::Cmp(op, a, b) => {
+            paren(a, f)?;
+            write!(f, " {} ", op.symbol())?;
+            paren(b, f)
+        }
+        Expr::Nat(n) => write!(f, "{n}"),
+        Expr::Real(r) => write!(f, "{r:?}"),
+        Expr::Str(s) => write!(f, "{:?}", s),
+        Expr::Arith(op, a, b) => {
+            paren(a, f)?;
+            write!(f, " {} ", op.symbol())?;
+            paren(b, f)
+        }
+        Expr::Gen(e) => {
+            write!(f, "gen!")?;
+            paren(e, f)
+        }
+        Expr::Sum { head, var, src } => write!(f, "sum{{{head} | \\{var} <- {src}}}"),
+        Expr::Tab { head, idx } => {
+            write!(f, "[[{head} | ")?;
+            for (i, (n, b)) in idx.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "\\{n} < {b}")?;
+            }
+            write!(f, "]]")
+        }
+        Expr::Sub(arr, idx) => {
+            paren(arr, f)?;
+            write!(f, "[")?;
+            for (i, e) in idx.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(e, f)?;
+            }
+            write!(f, "]")
+        }
+        Expr::Dim(k, e) => {
+            write!(f, "dim_{k}!")?;
+            paren(e, f)
+        }
+        Expr::ArrayLit { dims, items } => {
+            write!(f, "[[")?;
+            for (i, d) in dims.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(d, f)?;
+            }
+            write!(f, ";")?;
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, " ")?;
+                write_expr(it, f)?;
+            }
+            write!(f, "]]")
+        }
+        Expr::Index(k, e) => {
+            write!(f, "index_{k}!")?;
+            paren(e, f)
+        }
+        Expr::Get(e) => {
+            write!(f, "get!")?;
+            paren(e, f)
+        }
+        Expr::Bottom => write!(f, "_|_"),
+        Expr::Prim(p, args) => {
+            write!(f, "{}!(", p.name())?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(a, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::*;
+
+    #[test]
+    fn displays_read_like_the_paper() {
+        let e = big_union("x", var("X"), single(var("x")));
+        assert_eq!(e.to_string(), "U{{x} | \\x <- X}");
+
+        let e = tab1("i", len(var("A")), sub(var("A"), vec![mul(var("i"), nat(2))]));
+        assert_eq!(e.to_string(), "[[A[i * 2] | \\i < dim_1!A]]");
+
+        let e = iff(lt(var("i"), var("n")), var("x"), bottom());
+        assert_eq!(e.to_string(), "if i < n then x else _|_");
+
+        let e = sum("j", gen(nat(4)), var("j"));
+        assert_eq!(e.to_string(), "sum{j | \\j <- gen!4}");
+    }
+
+    #[test]
+    fn application_and_lambda() {
+        let e = app(lam("x", add(var("x"), nat(1))), nat(2));
+        assert_eq!(e.to_string(), "(fn \\x => x + 1)!2");
+    }
+
+    #[test]
+    fn multidim_tab_display() {
+        let e = tab(
+            vec![("i", var("m")), ("j", var("n"))],
+            sub(var("M"), vec![var("j"), var("i")]),
+        );
+        assert_eq!(e.to_string(), "[[M[j, i] | \\i < m, \\j < n]]");
+    }
+}

@@ -1,0 +1,186 @@
+//! External primitives — the "openness" mechanism of §4.
+//!
+//! The paper's system lets users register domain-specific functions
+//! written in the host language (SML there, Rust here) as new AQL
+//! primitives (`TopEnv.RegisterCO`). A registered [`NativeFn`] carries
+//! its NRCA type — so the typechecker can check calls — and a Rust
+//! closure the evaluator invokes. Native functions are first-class:
+//! they can be passed to higher-order operations like `map`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::EvalError;
+use crate::expr::{name, Name};
+use crate::types::Type;
+use crate::value::Value;
+
+/// The host-function signature of an external primitive.
+pub type HostFn = dyn Fn(&Value) -> Result<Value, EvalError>;
+
+/// An external primitive: a host-language function with an NRCA type.
+pub struct NativeFn {
+    name: Name,
+    ty: Type,
+    f: Box<HostFn>,
+}
+
+impl NativeFn {
+    /// Wrap a host function. `ty` must be a function type; calls are
+    /// typechecked against it.
+    pub fn new(
+        fname: &str,
+        ty: Type,
+        f: impl Fn(&Value) -> Result<Value, EvalError> + 'static,
+    ) -> NativeFn {
+        assert!(
+            matches!(ty, Type::Fun(..)),
+            "external primitive `{fname}` must have a function type, got {ty}"
+        );
+        NativeFn { name: name(fname), ty, f: Box::new(f) }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared NRCA type.
+    pub fn ty(&self) -> &Type {
+        &self.ty
+    }
+
+    /// Invoke the primitive. A strict `⊥` argument short-circuits to
+    /// `⊥` without entering host code.
+    pub fn call(&self, arg: &Value) -> Result<Value, EvalError> {
+        if arg.is_bottom() {
+            return Ok(Value::Bottom);
+        }
+        (self.f)(arg).map_err(|e| match e {
+            EvalError::External { .. } => e,
+            other => EvalError::External {
+                name: self.name.to_string(),
+                message: other.to_string(),
+            },
+        })
+    }
+}
+
+impl fmt::Debug for NativeFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NativeFn")
+            .field("name", &self.name)
+            .field("ty", &self.ty.to_string())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The registry of external primitives available to a query.
+#[derive(Debug, Default, Clone)]
+pub struct Extensions {
+    map: HashMap<Name, Rc<NativeFn>>,
+}
+
+impl Extensions {
+    /// An empty registry.
+    pub fn new() -> Extensions {
+        Extensions::default()
+    }
+
+    /// Register (or replace) a primitive under its own name.
+    pub fn register(&mut self, f: NativeFn) {
+        self.map.insert(f.name.clone(), Rc::new(f));
+    }
+
+    /// Convenience: register from parts.
+    pub fn register_fn(
+        &mut self,
+        fname: &str,
+        ty: Type,
+        f: impl Fn(&Value) -> Result<Value, EvalError> + 'static,
+    ) {
+        self.register(NativeFn::new(fname, ty, f));
+    }
+
+    /// Look up a primitive.
+    pub fn get(&self, fname: &str) -> Option<&Rc<NativeFn>> {
+        self.map.get(fname)
+    }
+
+    /// The declared type of a primitive (for the typechecker).
+    pub fn type_of(&self, fname: &str) -> Option<&Type> {
+        self.map.get(fname).map(|f| f.ty())
+    }
+
+    /// Iterate registered names (sorted, for deterministic listings).
+    pub fn names(&self) -> Vec<&str> {
+        let mut ns: Vec<&str> = self.map.keys().map(|k| &**k).collect();
+        ns.sort_unstable();
+        ns
+    }
+
+    /// Number of registered primitives.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double() -> NativeFn {
+        NativeFn::new("double", Type::fun(Type::Nat, Type::Nat), |v| {
+            Ok(Value::Nat(v.as_nat()? * 2))
+        })
+    }
+
+    #[test]
+    fn call_invokes_host_function() {
+        let f = double();
+        assert_eq!(f.call(&Value::Nat(21)).unwrap(), Value::Nat(42));
+    }
+
+    #[test]
+    fn bottom_short_circuits() {
+        let f = NativeFn::new("boom", Type::fun(Type::Nat, Type::Nat), |_| {
+            panic!("must not be called")
+        });
+        assert!(f.call(&Value::Bottom).unwrap().is_bottom());
+    }
+
+    #[test]
+    fn host_errors_are_attributed() {
+        let f = NativeFn::new("bad", Type::fun(Type::Nat, Type::Nat), |v| {
+            v.as_bool().map(Value::Bool)
+        });
+        let err = f.call(&Value::Nat(1)).unwrap_err();
+        match err {
+            EvalError::External { name, .. } => assert_eq!(name, "bad"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut ext = Extensions::new();
+        assert!(ext.is_empty());
+        ext.register(double());
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext.type_of("double"), Some(&Type::fun(Type::Nat, Type::Nat)));
+        assert!(ext.get("missing").is_none());
+        assert_eq!(ext.names(), vec!["double"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "function type")]
+    fn non_function_type_rejected() {
+        let _ = NativeFn::new("k", Type::Nat, |v| Ok(v.clone()));
+    }
+}

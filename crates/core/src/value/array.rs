@@ -1,0 +1,212 @@
+//! Materialised k-dimensional arrays.
+//!
+//! In the calculus an array of type `[[t]]_k` is a partial function
+//! from `N^k` to `t` whose domain is the "rectangular" product
+//! `gen(n_1) × … × gen(n_k)` (§2). The runtime representation is that
+//! function tabulated: a dimension vector `[n_1, …, n_k]` and the
+//! `n_1·…·n_k` values in row-major order. (The *optimizer* is what
+//! keeps intermediate arrays from being tabulated; see `aql-opt`.)
+
+use crate::error::EvalError;
+
+use super::Value;
+
+/// A k-dimensional array value: dimensions plus row-major data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayVal {
+    dims: Vec<u64>,
+    data: Vec<Value>,
+}
+
+impl ArrayVal {
+    /// Create an array, checking that `data.len()` equals the product
+    /// of `dims`. `dims` must be non-empty (`k ≥ 1`).
+    pub fn new(dims: Vec<u64>, data: Vec<Value>) -> Result<ArrayVal, EvalError> {
+        if dims.is_empty() {
+            return Err(EvalError::IllTyped("array with zero dimensions".into()));
+        }
+        let expect = checked_product(&dims)?;
+        if expect != data.len() as u64 {
+            return Err(EvalError::IllTyped(format!(
+                "array shape mismatch: dims {:?} require {} values, got {}",
+                dims,
+                expect,
+                data.len()
+            )));
+        }
+        Ok(ArrayVal { dims, data })
+    }
+
+    /// An empty k-dimensional array (all dimensions zero).
+    pub fn empty(k: usize) -> ArrayVal {
+        assert!(k >= 1);
+        ArrayVal { dims: vec![0; k], data: Vec::new() }
+    }
+
+    /// Number of dimensions `k`.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The dimension vector `(n_1, …, n_k)` — the meaning of `dim_k`.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the array empty (some dimension is zero)?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The row-major data.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Row-major offset of a multi-index, or `None` when any component
+    /// is out of bounds (subscripting is *partial*: the caller maps
+    /// `None` to `⊥`).
+    pub fn offset(&self, idx: &[u64]) -> Option<usize> {
+        if idx.len() != self.dims.len() {
+            return None;
+        }
+        let mut off: u64 = 0;
+        for (i, d) in idx.iter().zip(self.dims.iter()) {
+            if i >= d {
+                return None;
+            }
+            off = off * d + i;
+        }
+        Some(off as usize)
+    }
+
+    /// Value at a multi-index; `None` when out of bounds.
+    pub fn get(&self, idx: &[u64]) -> Option<&Value> {
+        self.offset(idx).map(|o| &self.data[o])
+    }
+
+    /// Iterate `(multi-index, value)` pairs in row-major order — the
+    /// graph of the array viewed as a function (`graph_k` in §2).
+    pub fn iter_indexed(&self) -> IndexedIter<'_> {
+        IndexedIter { arr: self, next: 0 }
+    }
+
+    /// Decode a row-major offset into a multi-index.
+    pub fn unoffset(&self, mut off: u64) -> Vec<u64> {
+        let mut idx = vec![0u64; self.dims.len()];
+        for j in (0..self.dims.len()).rev() {
+            let d = self.dims[j];
+            if d > 0 {
+                idx[j] = off % d;
+                off /= d;
+            }
+        }
+        idx
+    }
+}
+
+/// Iterator over `(multi-index, value)` pairs of an array.
+pub struct IndexedIter<'a> {
+    arr: &'a ArrayVal,
+    next: usize,
+}
+
+impl<'a> Iterator for IndexedIter<'a> {
+    type Item = (Vec<u64>, &'a Value);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.arr.data.len() {
+            return None;
+        }
+        let idx = self.arr.unoffset(self.next as u64);
+        let v = &self.arr.data[self.next];
+        self.next += 1;
+        Some((idx, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.arr.data.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+/// Product of a dimension vector with overflow detection.
+pub fn checked_product(dims: &[u64]) -> Result<u64, EvalError> {
+    let mut p: u64 = 1;
+    for &d in dims {
+        p = p.checked_mul(d).ok_or(EvalError::Overflow)?;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat_array(dims: Vec<u64>, ns: Vec<u64>) -> ArrayVal {
+        ArrayVal::new(dims, ns.into_iter().map(Value::Nat).collect()).unwrap()
+    }
+
+    #[test]
+    fn shape_checked_on_construction() {
+        assert!(ArrayVal::new(vec![2, 3], vec![Value::Nat(0); 6]).is_ok());
+        assert!(ArrayVal::new(vec![2, 3], vec![Value::Nat(0); 5]).is_err());
+        assert!(ArrayVal::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn row_major_offsets() {
+        let a = nat_array(vec![2, 3], vec![0, 1, 2, 10, 11, 12]);
+        assert_eq!(a.get(&[0, 0]).unwrap().as_nat().unwrap(), 0);
+        assert_eq!(a.get(&[0, 2]).unwrap().as_nat().unwrap(), 2);
+        assert_eq!(a.get(&[1, 0]).unwrap().as_nat().unwrap(), 10);
+        assert_eq!(a.get(&[1, 2]).unwrap().as_nat().unwrap(), 12);
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let a = nat_array(vec![2, 3], vec![0, 1, 2, 3, 4, 5]);
+        assert!(a.get(&[2, 0]).is_none());
+        assert!(a.get(&[0, 3]).is_none());
+        assert!(a.get(&[0]).is_none(), "wrong arity");
+        assert!(a.get(&[0, 0, 0]).is_none(), "wrong arity");
+    }
+
+    #[test]
+    fn indexed_iteration_roundtrips_offsets() {
+        let a = nat_array(vec![2, 2, 2], (0..8).collect());
+        for (i, (idx, v)) in a.iter_indexed().enumerate() {
+            assert_eq!(a.offset(&idx).unwrap(), i);
+            assert_eq!(v.as_nat().unwrap(), i as u64);
+        }
+        assert_eq!(a.iter_indexed().count(), 8);
+    }
+
+    #[test]
+    fn empty_arrays() {
+        let a = ArrayVal::empty(3);
+        assert_eq!(a.rank(), 3);
+        assert_eq!(a.dims(), &[0, 0, 0]);
+        assert!(a.is_empty());
+        assert!(a.get(&[0, 0, 0]).is_none());
+        // A zero dimension anywhere forces zero elements.
+        assert!(ArrayVal::new(vec![3, 0], vec![]).is_ok());
+    }
+
+    #[test]
+    fn checked_product_overflow() {
+        assert!(checked_product(&[u64::MAX, 2]).is_err());
+        assert_eq!(checked_product(&[3, 4, 5]).unwrap(), 60);
+        assert_eq!(checked_product(&[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unoffset_handles_zero_dims() {
+        let a = ArrayVal::empty(2);
+        assert_eq!(a.unoffset(0), vec![0, 0]);
+    }
+}

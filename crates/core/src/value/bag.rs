@@ -1,0 +1,170 @@
+//! Canonical finite bags (multisets), the collection type of `NBC` (§6).
+//!
+//! A bag is a sorted vector of `(value, multiplicity)` pairs with all
+//! multiplicities ≥ 1. Bag union `⊎` *adds* multiplicities. Bags exist
+//! in this implementation to make the expressiveness results of §6
+//! (`NBC_r`, ranked bag union) executable.
+
+use std::cmp::Ordering;
+
+use super::ord::canonical_cmp;
+use super::Value;
+
+/// A canonically ordered finite bag of object values.
+#[derive(Debug, Clone, Default)]
+pub struct CoBag {
+    items: Vec<(Value, u64)>,
+}
+
+impl CoBag {
+    /// The empty bag `{||}`.
+    pub fn empty() -> CoBag {
+        CoBag { items: Vec::new() }
+    }
+
+    /// The singleton bag `{|v|}`.
+    pub fn singleton(v: Value) -> CoBag {
+        CoBag { items: vec![(v, 1)] }
+    }
+
+    /// Build a bag from arbitrary elements, counting duplicates.
+    pub fn from_vec(mut items: Vec<Value>) -> CoBag {
+        items.sort_by(canonical_cmp);
+        let mut out: Vec<(Value, u64)> = Vec::new();
+        for v in items {
+            match out.last_mut() {
+                Some((last, m)) if canonical_cmp(last, &v) == Ordering::Equal => *m += 1,
+                _ => out.push((v, 1)),
+            }
+        }
+        CoBag { items: out }
+    }
+
+    /// Build from sorted `(value, multiplicity)` pairs.
+    pub fn from_counted(items: Vec<(Value, u64)>) -> CoBag {
+        debug_assert!(items.iter().all(|(_, m)| *m >= 1));
+        debug_assert!(items
+            .windows(2)
+            .all(|w| canonical_cmp(&w[0].0, &w[1].0) == Ordering::Less));
+        CoBag { items }
+    }
+
+    /// Number of distinct elements.
+    pub fn distinct_len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Total number of elements counting multiplicity.
+    pub fn total_len(&self) -> u64 {
+        self.items.iter().map(|(_, m)| m).sum()
+    }
+
+    /// Is the bag empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate `(value, multiplicity)` pairs in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Value, u64)> {
+        self.items.iter()
+    }
+
+    /// Iterate every occurrence, repeating values by multiplicity.
+    pub fn iter_occurrences(&self) -> impl Iterator<Item = &Value> {
+        self.items
+            .iter()
+            .flat_map(|(v, m)| std::iter::repeat_n(v, *m as usize))
+    }
+
+    /// Multiplicity of a value in the bag (0 if absent).
+    pub fn count(&self, v: &Value) -> u64 {
+        self.items
+            .binary_search_by(|(probe, _)| canonical_cmp(probe, v))
+            .map(|i| self.items[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Additive bag union `⊎`: multiplicities are summed.
+    pub fn union(&self, other: &CoBag) -> CoBag {
+        let mut out = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match canonical_cmp(&self.items[i].0, &other.items[j].0) {
+                Ordering::Less => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(other.items[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push((self.items[i].0.clone(), self.items[i].1 + other.items[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        CoBag { items: out }
+    }
+}
+
+impl PartialEq for CoBag {
+    fn eq(&self, other: &Self) -> bool {
+        self.items.len() == other.items.len()
+            && self.items.iter().zip(other.items.iter()).all(|(a, b)| {
+                a.1 == b.1 && canonical_cmp(&a.0, &b.0) == Ordering::Equal
+            })
+    }
+}
+
+impl Eq for CoBag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(ns: &[u64]) -> CoBag {
+        CoBag::from_vec(ns.iter().map(|&n| Value::Nat(n)).collect())
+    }
+
+    #[test]
+    fn from_vec_counts_multiplicities() {
+        let b = bag(&[3, 1, 3, 3, 1]);
+        assert_eq!(b.distinct_len(), 2);
+        assert_eq!(b.total_len(), 5);
+        assert_eq!(b.count(&Value::Nat(3)), 3);
+        assert_eq!(b.count(&Value::Nat(1)), 2);
+        assert_eq!(b.count(&Value::Nat(9)), 0);
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let u = bag(&[1, 2]).union(&bag(&[2, 2, 3]));
+        assert_eq!(u.count(&Value::Nat(1)), 1);
+        assert_eq!(u.count(&Value::Nat(2)), 3);
+        assert_eq!(u.count(&Value::Nat(3)), 1);
+        assert_eq!(u.total_len(), 5);
+    }
+
+    #[test]
+    fn bag_equality_respects_multiplicity() {
+        assert_eq!(bag(&[1, 1, 2]), bag(&[2, 1, 1]));
+        assert_ne!(bag(&[1, 2]), bag(&[1, 1, 2]));
+    }
+
+    #[test]
+    fn occurrences_iteration() {
+        let b = bag(&[5, 5, 7]);
+        let occ: Vec<u64> = b.iter_occurrences().map(|v| v.as_nat().unwrap()).collect();
+        assert_eq!(occ, vec![5, 5, 7]);
+    }
+
+    #[test]
+    fn empty_bag() {
+        assert!(CoBag::empty().is_empty());
+        assert_eq!(CoBag::empty().union(&bag(&[1])), bag(&[1]));
+    }
+}

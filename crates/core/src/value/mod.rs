@@ -1,0 +1,194 @@
+//! Complex-object values: the data model of §2.
+//!
+//! A value is a free nesting of tuples, sets (and bags, for §6) over the
+//! base types, plus k-dimensional arrays and the error value `⊥`.
+//! Arrays are "partial functions of finite rectangular domain": we
+//! materialise them as a dimension vector plus row-major data
+//! ([`ArrayVal`]). Every *object* value carries the canonical linear
+//! order `≤_t` of the paper (see [`ord`]), which is what makes `min`,
+//! `max` and the ranked union of §6 definable at every type.
+
+pub mod array;
+pub mod bag;
+pub mod ord;
+pub mod parse;
+pub mod print;
+pub mod set;
+pub mod tyof;
+
+use std::rc::Rc;
+
+pub use array::ArrayVal;
+pub use bag::CoBag;
+pub use set::CoSet;
+
+use crate::error::EvalError;
+
+/// A runtime value of the NRCA evaluator.
+///
+/// `Closure` and `Native` are function values: they arise only while
+/// evaluating well-typed terms of function type and never occur inside
+/// object values (the typechecker enforces that object types contain no
+/// arrows). `Bottom` is the paper's explicit error value `⊥`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A Boolean.
+    Bool(bool),
+    /// A natural number.
+    Nat(u64),
+    /// A real (uninterpreted base type instance).
+    Real(f64),
+    /// A string (uninterpreted base type instance).
+    Str(Rc<str>),
+    /// A k-tuple, `k ≥ 2`.
+    Tuple(Rc<[Value]>),
+    /// A finite set (canonically sorted, duplicate-free).
+    Set(Rc<CoSet>),
+    /// A finite bag (canonically sorted with multiplicities).
+    Bag(Rc<CoBag>),
+    /// A k-dimensional array.
+    Array(Rc<ArrayVal>),
+    /// A closure produced by evaluating a λ-abstraction.
+    Closure(crate::eval::Closure),
+    /// A registered external primitive used as a first-class function.
+    Native(Rc<crate::prim::NativeFn>),
+    /// The error value `⊥`.
+    Bottom,
+}
+
+impl Value {
+    /// Construct a tuple value.
+    pub fn tuple(items: Vec<Value>) -> Value {
+        debug_assert!(items.len() >= 2, "tuples have arity ≥ 2");
+        Value::Tuple(items.into())
+    }
+
+    /// Construct a set value from arbitrary (possibly unsorted,
+    /// duplicated) elements.
+    pub fn set(items: Vec<Value>) -> Value {
+        Value::Set(Rc::new(CoSet::from_vec(items)))
+    }
+
+    /// Construct a bag value from arbitrary elements.
+    pub fn bag(items: Vec<Value>) -> Value {
+        Value::Bag(Rc::new(CoBag::from_vec(items)))
+    }
+
+    /// Construct a one-dimensional array from a vector of values.
+    pub fn array1(items: Vec<Value>) -> Value {
+        let n = items.len() as u64;
+        Value::Array(Rc::new(ArrayVal::new(vec![n], items).expect("consistent 1-d shape")))
+    }
+
+    /// Construct a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Is this the error value `⊥`?
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Value::Bottom)
+    }
+
+    /// Is this a function value (closure or native)?
+    pub fn is_function(&self) -> bool {
+        matches!(self, Value::Closure(_) | Value::Native(_))
+    }
+
+    /// Extract a natural number, or report an ill-typed runtime value.
+    pub fn as_nat(&self) -> Result<u64, EvalError> {
+        match self {
+            Value::Nat(n) => Ok(*n),
+            other => Err(EvalError::IllTyped(format!("expected nat, got {other}"))),
+        }
+    }
+
+    /// Extract a Boolean.
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::IllTyped(format!("expected bool, got {other}"))),
+        }
+    }
+
+    /// Extract a real.
+    pub fn as_real(&self) -> Result<f64, EvalError> {
+        match self {
+            Value::Real(r) => Ok(*r),
+            other => Err(EvalError::IllTyped(format!("expected real, got {other}"))),
+        }
+    }
+
+    /// Extract a set.
+    pub fn as_set(&self) -> Result<&CoSet, EvalError> {
+        match self {
+            Value::Set(s) => Ok(s),
+            other => Err(EvalError::IllTyped(format!("expected set, got {other}"))),
+        }
+    }
+
+    /// Extract a bag.
+    pub fn as_bag(&self) -> Result<&CoBag, EvalError> {
+        match self {
+            Value::Bag(b) => Ok(b),
+            other => Err(EvalError::IllTyped(format!("expected bag, got {other}"))),
+        }
+    }
+
+    /// Extract an array.
+    pub fn as_array(&self) -> Result<&ArrayVal, EvalError> {
+        match self {
+            Value::Array(a) => Ok(a),
+            other => Err(EvalError::IllTyped(format!("expected array, got {other}"))),
+        }
+    }
+
+    /// Extract the components of a tuple.
+    pub fn as_tuple(&self) -> Result<&[Value], EvalError> {
+        match self {
+            Value::Tuple(t) => Ok(t),
+            other => Err(EvalError::IllTyped(format!("expected tuple, got {other}"))),
+        }
+    }
+
+    /// View a value of type `N^k` as an index vector: a bare `nat` for
+    /// `k = 1`, a tuple of `nat`s otherwise.
+    pub fn as_index(&self) -> Result<Vec<u64>, EvalError> {
+        match self {
+            Value::Nat(n) => Ok(vec![*n]),
+            Value::Tuple(t) => t.iter().map(Value::as_nat).collect(),
+            other => Err(EvalError::IllTyped(format!("expected index, got {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::set(vec![Value::Nat(3), Value::Nat(1), Value::Nat(3)]);
+        let s = v.as_set().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().next().unwrap().as_nat().unwrap(), 1);
+
+        let t = Value::tuple(vec![Value::Bool(true), Value::Nat(7)]);
+        assert_eq!(t.as_tuple().unwrap().len(), 2);
+        assert!(t.as_nat().is_err());
+    }
+
+    #[test]
+    fn index_view() {
+        assert_eq!(Value::Nat(4).as_index().unwrap(), vec![4]);
+        let idx = Value::tuple(vec![Value::Nat(1), Value::Nat(2), Value::Nat(3)]);
+        assert_eq!(idx.as_index().unwrap(), vec![1, 2, 3]);
+        assert!(Value::Bool(true).as_index().is_err());
+    }
+
+    #[test]
+    fn bottom_is_recognised() {
+        assert!(Value::Bottom.is_bottom());
+        assert!(!Value::Nat(0).is_bottom());
+    }
+}

@@ -1,0 +1,209 @@
+//! The canonical linear order `≤_t` on object values.
+//!
+//! §2 of the paper: "from an expressivity standpoint we need only
+//! include equality and linear order over the base types, because their
+//! liftings to all other complex object types will be definable"
+//! (the paper cites its reference 21 for this).
+//! We provide the lifting natively: a deterministic total order on all
+//! object values of a common type. It is what canonicalises sets and
+//! bags, evaluates `<`/`≤` at arbitrary object types, and gives meaning
+//! to the ranked union `∪_r` of §6.
+//!
+//! The order is structural: tuples lexicographically; sets and bags by
+//! their sorted element sequences; arrays by dimension vector then
+//! row-major data; reals by IEEE `total_cmp`. Values of *different*
+//! runtime shapes are ordered by a discriminant tag — this branch is
+//! unreachable for well-typed programs but keeps the order total.
+//!
+//! # Panics
+//!
+//! Comparing function values (closures / natives) panics: function
+//! types are not object types, so the typechecker guarantees no
+//! comparison, set membership, or ranking ever reaches them.
+
+use std::cmp::Ordering;
+
+use super::Value;
+
+/// Rank of each variant, used only to order values of different shapes
+/// (unreachable for well-typed programs).
+fn tag(v: &Value) -> u8 {
+    match v {
+        Value::Bottom => 0,
+        Value::Bool(_) => 1,
+        Value::Nat(_) => 2,
+        Value::Real(_) => 3,
+        Value::Str(_) => 4,
+        Value::Tuple(_) => 5,
+        Value::Set(_) => 6,
+        Value::Bag(_) => 7,
+        Value::Array(_) => 8,
+        Value::Closure(_) | Value::Native(_) => 9,
+    }
+}
+
+/// Total order on object values. See the module documentation.
+pub fn canonical_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a, b) {
+        (Value::Bottom, Value::Bottom) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Nat(x), Value::Nat(y)) => x.cmp(y),
+        (Value::Real(x), Value::Real(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Tuple(x), Value::Tuple(y)) => cmp_slices(x, y),
+        (Value::Set(x), Value::Set(y)) => cmp_slices(x.as_slice(), y.as_slice()),
+        (Value::Bag(x), Value::Bag(y)) => {
+            for (pa, pb) in x.iter().zip(y.iter()) {
+                match canonical_cmp(&pa.0, &pb.0).then(pa.1.cmp(&pb.1)) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.distinct_len().cmp(&y.distinct_len())
+        }
+        (Value::Array(x), Value::Array(y)) => x
+            .dims()
+            .cmp(y.dims())
+            .then_with(|| cmp_slices(x.data(), y.data())),
+        (Value::Closure(_) | Value::Native(_), _) | (_, Value::Closure(_) | Value::Native(_)) => {
+            panic!("canonical_cmp: function values are not comparable (typechecker invariant)")
+        }
+        _ => tag(a).cmp(&tag(b)),
+    }
+}
+
+/// Structural equality derived from the canonical order.
+pub fn canonical_eq(a: &Value, b: &Value) -> bool {
+    canonical_cmp(a, b) == Ordering::Equal
+}
+
+fn cmp_slices(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match canonical_cmp(x, y) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        if self.is_function() || other.is_function() {
+            return false;
+        }
+        canonical_eq(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ArrayVal, Value};
+    use std::rc::Rc;
+
+    #[test]
+    fn base_type_orders() {
+        assert_eq!(canonical_cmp(&Value::Nat(1), &Value::Nat(2)), Ordering::Less);
+        assert_eq!(
+            canonical_cmp(&Value::Bool(false), &Value::Bool(true)),
+            Ordering::Less
+        );
+        assert_eq!(
+            canonical_cmp(&Value::Real(1.5), &Value::Real(1.5)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            canonical_cmp(&Value::str("abc"), &Value::str("abd")),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn reals_total_order_handles_nan_and_zero() {
+        // total_cmp: -0.0 < +0.0 < NaN; the point is determinism.
+        assert_eq!(
+            canonical_cmp(&Value::Real(f64::NAN), &Value::Real(f64::NAN)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            canonical_cmp(&Value::Real(-0.0), &Value::Real(0.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            canonical_cmp(&Value::Real(1.0), &Value::Real(f64::NAN)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn tuples_lexicographic() {
+        let a = Value::tuple(vec![Value::Nat(1), Value::Nat(9)]);
+        let b = Value::tuple(vec![Value::Nat(2), Value::Nat(0)]);
+        assert_eq!(canonical_cmp(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn sets_by_sorted_sequence() {
+        let a = Value::set(vec![Value::Nat(3), Value::Nat(1)]);
+        let b = Value::set(vec![Value::Nat(1), Value::Nat(4)]);
+        // {1,3} vs {1,4}: compare sorted element-wise.
+        assert_eq!(canonical_cmp(&a, &b), Ordering::Less);
+        // Prefix sets are smaller: {1} < {1,0-ary longer}.
+        let c = Value::set(vec![Value::Nat(1)]);
+        assert_eq!(canonical_cmp(&c, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn bags_respect_multiplicity() {
+        let a = Value::bag(vec![Value::Nat(1), Value::Nat(1)]);
+        let b = Value::bag(vec![Value::Nat(1), Value::Nat(1), Value::Nat(1)]);
+        assert_ne!(canonical_cmp(&a, &b), Ordering::Equal);
+    }
+
+    #[test]
+    fn arrays_by_dims_then_data() {
+        let a = Value::array1(vec![Value::Nat(9)]);
+        let b = Value::array1(vec![Value::Nat(1), Value::Nat(1)]);
+        // Shorter dims first.
+        assert_eq!(canonical_cmp(&a, &b), Ordering::Less);
+        let c = Value::Array(Rc::new(
+            ArrayVal::new(vec![2], vec![Value::Nat(0), Value::Nat(5)]).unwrap(),
+        ));
+        assert_eq!(canonical_cmp(&c, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn order_is_transitive_on_samples() {
+        let vals = vec![
+            Value::Nat(0),
+            Value::Nat(5),
+            Value::set(vec![]),
+            Value::set(vec![Value::Nat(2)]),
+            Value::tuple(vec![Value::Nat(1), Value::Nat(2)]),
+            Value::Bottom,
+        ];
+        for a in &vals {
+            for b in &vals {
+                for c in &vals {
+                    if canonical_cmp(a, b) != Ordering::Greater
+                        && canonical_cmp(b, c) != Ordering::Greater
+                    {
+                        assert_ne!(canonical_cmp(a, c), Ordering::Greater);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "function values")]
+    fn comparing_functions_panics() {
+        let f = Value::Native(Rc::new(crate::prim::NativeFn::new(
+            "id",
+            crate::types::Type::fun(crate::types::Type::Nat, crate::types::Type::Nat),
+            |v| Ok(v.clone()),
+        )));
+        let _ = canonical_cmp(&f, &f);
+    }
+}

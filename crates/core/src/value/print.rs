@@ -1,0 +1,267 @@
+//! Printing of complex objects.
+//!
+//! Two forms are provided:
+//!
+//! * [`std::fmt::Display`] emits the **data exchange format** of §3 —
+//!   a machine-readable grammar of literals that [`super::parse`] reads
+//!   back. This is the format the paper's I/O module uses for `readval`
+//!   / `writeval` streams.
+//! * [`session_string`] mimics the pretty-printer of the paper's sample
+//!   session: arrays print as `[[(0):0, (1):31, ...]]` with explicit
+//!   indices and truncation.
+
+use std::fmt::{self, Write as _};
+
+use super::{ArrayVal, Value};
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Real(r) => write_real(f, *r),
+            Value::Str(s) => write_string(f, s),
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Bag(b) => {
+                write!(f, "{{|")?;
+                let mut first = true;
+                for v in b.iter_occurrences() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{v}")?;
+                }
+                write!(f, "|}}")
+            }
+            Value::Array(a) => write_array_literal(f, a),
+            Value::Closure(_) => write!(f, "<closure>"),
+            Value::Native(n) => write!(f, "<primitive {}>", n.name()),
+            Value::Bottom => write!(f, "_|_"),
+        }
+    }
+}
+
+/// Print a real such that the parser reads it back as a real: always
+/// with a decimal point, exponent, or a named special value.
+fn write_real(f: &mut fmt::Formatter<'_>, r: f64) -> fmt::Result {
+    if r.is_nan() {
+        write!(f, "nanr")
+    } else if r.is_infinite() {
+        write!(f, "{}infr", if r < 0.0 { "-" } else { "" })
+    } else {
+        // `{:?}` keeps a trailing `.0` on integral doubles (`85.0`).
+        write!(f, "{r:?}")
+    }
+}
+
+fn write_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            '\r' => write!(f, "\\r")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+/// Arrays print in the exchange grammar: 1-d as `[[v0, …, v_{n-1}]]`,
+/// k-d (k ≥ 2) in the row-major form `[[n1, …, nk; v0, …]]` (§3).
+/// An empty 1-d array needs the row-major form too (`[[0;]]`), since
+/// `[[]]` would be ambiguous with an empty literal of unknown rank.
+fn write_array_literal(f: &mut fmt::Formatter<'_>, a: &ArrayVal) -> fmt::Result {
+    if a.rank() == 1 && !a.is_empty() {
+        write!(f, "[[")?;
+        for (i, v) in a.data().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]]")
+    } else {
+        write!(f, "[[")?;
+        for (i, d) in a.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ";")?;
+        for (i, v) in a.data().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, " {v}")?;
+        }
+        write!(f, "]]")
+    }
+}
+
+/// Default number of array elements shown by [`session_string`].
+pub const SESSION_TRUNCATE: usize = 8;
+
+/// Pretty-print a value the way the paper's read-eval-print loop does:
+/// arrays show `(index):value` pairs and are truncated to `limit`
+/// entries with a trailing `...`.
+pub fn session_string(v: &Value, limit: usize) -> String {
+    let mut out = String::new();
+    session_fmt(v, limit, &mut out);
+    out
+}
+
+fn session_fmt(v: &Value, limit: usize, out: &mut String) {
+    match v {
+        Value::Array(a) => {
+            out.push_str("[[");
+            for (count, (idx, item)) in a.iter_indexed().enumerate() {
+                if count > 0 {
+                    out.push_str(", ");
+                }
+                if count >= limit {
+                    out.push_str("...");
+                    break;
+                }
+                out.push('(');
+                for (i, c) in idx.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{c}");
+                }
+                out.push_str("):");
+                session_fmt(item, limit, out);
+            }
+            out.push_str("]]");
+        }
+        Value::Set(s) => {
+            out.push('{');
+            for (i, item) in s.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                session_fmt(item, limit, out);
+            }
+            out.push('}');
+        }
+        Value::Tuple(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                session_fmt(item, limit, out);
+            }
+            out.push(')');
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::rc::Rc;
+
+    #[test]
+    fn scalar_display() {
+        assert_eq!(Value::Nat(42).to_string(), "42");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Real(85.0).to_string(), "85.0");
+        assert_eq!(Value::Real(67.3).to_string(), "67.3");
+        assert_eq!(Value::str("temp.nc").to_string(), "\"temp.nc\"");
+        assert_eq!(Value::Bottom.to_string(), "_|_");
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(Value::str("a\"b\\c\n").to_string(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn collection_display() {
+        let s = Value::set(vec![Value::Nat(27), Value::Nat(25), Value::Nat(28)]);
+        assert_eq!(s.to_string(), "{25, 27, 28}");
+        let t = Value::tuple(vec![Value::Nat(1), Value::Real(2.5)]);
+        assert_eq!(t.to_string(), "(1, 2.5)");
+        let b = Value::bag(vec![Value::Nat(1), Value::Nat(1)]);
+        assert_eq!(b.to_string(), "{|1, 1|}");
+    }
+
+    #[test]
+    fn one_dim_array_display() {
+        let a = Value::array1(vec![Value::Nat(0), Value::Nat(31), Value::Nat(28)]);
+        assert_eq!(a.to_string(), "[[0, 31, 28]]");
+    }
+
+    #[test]
+    fn multi_dim_array_display_row_major() {
+        let a = Value::Array(Rc::new(
+            crate::value::ArrayVal::new(
+                vec![2, 2],
+                vec![Value::Nat(1), Value::Nat(2), Value::Nat(3), Value::Nat(4)],
+            )
+            .unwrap(),
+        ));
+        assert_eq!(a.to_string(), "[[2, 2; 1, 2, 3, 4]]");
+    }
+
+    #[test]
+    fn empty_array_display_disambiguates() {
+        let a = Value::array1(vec![]);
+        assert_eq!(a.to_string(), "[[0;]]");
+    }
+
+    #[test]
+    fn session_style_matches_paper() {
+        // Paper: val months = [[(0):0, (1):31, (2):28, ...]]
+        let months = Value::array1(
+            [0u64, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30]
+                .iter()
+                .map(|&n| Value::Nat(n))
+                .collect(),
+        );
+        let s = session_string(&months, 3);
+        assert_eq!(s, "[[(0):0, (1):31, (2):28, ...]]");
+    }
+
+    #[test]
+    fn session_style_multidim() {
+        let a = Value::Array(Rc::new(
+            crate::value::ArrayVal::new(
+                vec![2, 2],
+                vec![Value::Nat(1), Value::Nat(2), Value::Nat(3), Value::Nat(4)],
+            )
+            .unwrap(),
+        ));
+        let s = session_string(&a, 10);
+        assert_eq!(s, "[[(0,0):1, (0,1):2, (1,0):3, (1,1):4]]");
+    }
+}

@@ -1,0 +1,193 @@
+//! Canonical finite sets.
+//!
+//! Sets are kept as sorted, duplicate-free vectors under the canonical
+//! linear order `≤_t` ([`super::ord`]). This gives O(n) merge-union,
+//! O(log n) membership, deterministic printing, and — crucially for the
+//! paper's §6 — a definable ranking of the elements of any set.
+
+use std::cmp::Ordering;
+
+use super::ord::canonical_cmp;
+use super::Value;
+
+/// A canonically ordered finite set of object values.
+#[derive(Debug, Clone, Default)]
+pub struct CoSet {
+    items: Vec<Value>,
+}
+
+impl CoSet {
+    /// The empty set.
+    pub fn empty() -> CoSet {
+        CoSet { items: Vec::new() }
+    }
+
+    /// A singleton set.
+    pub fn singleton(v: Value) -> CoSet {
+        CoSet { items: vec![v] }
+    }
+
+    /// Build a set from arbitrary elements: sorts and deduplicates.
+    pub fn from_vec(mut items: Vec<Value>) -> CoSet {
+        items.sort_by(canonical_cmp);
+        items.dedup_by(|a, b| canonical_cmp(a, b) == Ordering::Equal);
+        CoSet { items }
+    }
+
+    /// Build from a vector already sorted and deduplicated under the
+    /// canonical order. Debug builds verify the invariant.
+    pub fn from_sorted_vec(items: Vec<Value>) -> CoSet {
+        debug_assert!(
+            items.windows(2).all(|w| canonical_cmp(&w[0], &w[1]) == Ordering::Less),
+            "from_sorted_vec: input not strictly sorted"
+        );
+        CoSet { items }
+    }
+
+    /// Number of (distinct) elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate elements in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.items.iter()
+    }
+
+    /// The elements as a sorted slice.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.items
+    }
+
+    /// Membership test (binary search), O(log n) comparisons.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.items
+            .binary_search_by(|probe| canonical_cmp(probe, v))
+            .is_ok()
+    }
+
+    /// Set union by linear merge.
+    pub fn union(&self, other: &CoSet) -> CoSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match canonical_cmp(&self.items[i], &other.items[j]) {
+                Ordering::Less => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(other.items[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push(self.items[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        CoSet { items: out }
+    }
+
+    /// The least element, if any (the head of the sorted vector).
+    pub fn min(&self) -> Option<&Value> {
+        self.items.first()
+    }
+
+    /// The greatest element, if any.
+    pub fn max(&self) -> Option<&Value> {
+        self.items.last()
+    }
+}
+
+impl PartialEq for CoSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.items.len() == other.items.len()
+            && self
+                .items
+                .iter()
+                .zip(other.items.iter())
+                .all(|(a, b)| canonical_cmp(a, b) == Ordering::Equal)
+    }
+}
+
+impl Eq for CoSet {}
+
+impl<'a> IntoIterator for &'a CoSet {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nats(ns: &[u64]) -> CoSet {
+        CoSet::from_vec(ns.iter().map(|&n| Value::Nat(n)).collect())
+    }
+
+    #[test]
+    fn from_vec_sorts_and_dedups() {
+        let s = nats(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        let got: Vec<u64> = s.iter().map(|v| v.as_nat().unwrap()).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = nats(&[1, 3, 5]);
+        let b = nats(&[2, 3, 6]);
+        let u = a.union(&b);
+        let got: Vec<u64> = u.iter().map(|v| v.as_nat().unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = nats(&[4, 9]);
+        assert_eq!(a.union(&CoSet::empty()), a);
+        assert_eq!(CoSet::empty().union(&a), a);
+    }
+
+    #[test]
+    fn membership() {
+        let s = nats(&[2, 4, 8]);
+        assert!(s.contains(&Value::Nat(4)));
+        assert!(!s.contains(&Value::Nat(5)));
+        assert!(!CoSet::empty().contains(&Value::Nat(0)));
+    }
+
+    #[test]
+    fn min_max() {
+        let s = nats(&[7, 2, 9]);
+        assert_eq!(s.min().unwrap().as_nat().unwrap(), 2);
+        assert_eq!(s.max().unwrap().as_nat().unwrap(), 9);
+        assert!(CoSet::empty().min().is_none());
+    }
+
+    #[test]
+    fn equality_is_extensional() {
+        assert_eq!(nats(&[1, 2, 2, 3]), nats(&[3, 2, 1]));
+        assert_ne!(nats(&[1]), nats(&[1, 2]));
+    }
+
+    #[test]
+    fn nested_sets_order_canonically() {
+        let inner1 = Value::set(vec![Value::Nat(1)]);
+        let inner2 = Value::set(vec![Value::Nat(2)]);
+        let s = CoSet::from_vec(vec![inner2.clone(), inner1.clone(), inner2.clone()]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Inferring the type of a closed value.
+//!
+//! Used by the session to type the results of `readval` (§4): a reader
+//! deposits a complex object, and subsequent queries over the bound
+//! variable need its type. Empty collections are ambiguous — their
+//! element type cannot be recovered from the value — so the result is
+//! an `Option` and callers choose a policy (readers can also declare
+//! their result types explicitly).
+
+use crate::types::Type;
+
+use super::Value;
+
+/// Compute the type of a value, or `None` when it is ambiguous (empty
+/// collections, `⊥`, or heterogeneous data that would not typecheck).
+pub fn type_of_value(v: &Value) -> Option<Type> {
+    match v {
+        Value::Bool(_) => Some(Type::Bool),
+        Value::Nat(_) => Some(Type::Nat),
+        Value::Real(_) => Some(Type::Real),
+        Value::Str(_) => Some(Type::Str),
+        Value::Tuple(items) => {
+            let ts: Option<Vec<Type>> = items.iter().map(type_of_value).collect();
+            Some(Type::tuple(ts?))
+        }
+        Value::Set(s) => {
+            let elem = common_type(s.iter())?;
+            Some(Type::set(elem))
+        }
+        Value::Bag(b) => {
+            let elem = common_type(b.iter().map(|(v, _)| v))?;
+            Some(Type::bag(elem))
+        }
+        Value::Array(a) => {
+            let elem = common_type(a.data().iter())?;
+            Some(Type::array(elem, a.rank()))
+        }
+        Value::Bottom | Value::Closure(_) | Value::Native(_) => None,
+    }
+}
+
+/// The common type of a collection's elements; `None` when empty or
+/// heterogeneous.
+fn common_type<'a>(mut items: impl Iterator<Item = &'a Value>) -> Option<Type> {
+    let first = type_of_value(items.next()?)?;
+    for v in items {
+        if type_of_value(v)? != first {
+            return None;
+        }
+    }
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_types() {
+        assert_eq!(type_of_value(&Value::Nat(1)), Some(Type::Nat));
+        assert_eq!(type_of_value(&Value::Real(1.0)), Some(Type::Real));
+        assert_eq!(type_of_value(&Value::Bottom), None);
+    }
+
+    #[test]
+    fn structured_types() {
+        let v = Value::set(vec![Value::tuple(vec![Value::Nat(1), Value::Real(2.0)])]);
+        assert_eq!(
+            type_of_value(&v),
+            Some(Type::set(Type::tuple(vec![Type::Nat, Type::Real])))
+        );
+        let a = Value::array1(vec![Value::Real(1.0), Value::Real(2.0)]);
+        assert_eq!(type_of_value(&a), Some(Type::array1(Type::Real)));
+    }
+
+    #[test]
+    fn ambiguity() {
+        assert_eq!(type_of_value(&Value::set(vec![])), None);
+        assert_eq!(type_of_value(&Value::array1(vec![])), None);
+        // Heterogeneous (ill-typed) data is also ambiguous.
+        let v = Value::set(vec![Value::Nat(1), Value::Real(1.0)]);
+        assert_eq!(type_of_value(&v), None);
+        // Ambiguity propagates: a tuple with an empty-set component.
+        let v = Value::tuple(vec![Value::Nat(1), Value::set(vec![])]);
+        assert_eq!(type_of_value(&v), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # aql-netcdf — a from-scratch NetCDF classic driver for AQL
+//!
+//! §4 of *Libkin, Machlin & Wong (SIGMOD 1996)* ties AQL to "legacy"
+//! scientific data through a NetCDF driver. This crate implements the
+//! NetCDF **classic** binary format (CDF-1 and the 64-bit-offset
+//! CDF-2) from the published specification — header, dimensions,
+//! attributes, fixed and record variables, all six external types —
+//! with:
+//!
+//! * [`mod@write`] — a serializer ([`write::to_bytes`] / [`write::write_file`]);
+//! * [`read`] — a header parser and [`read::SlabReader`], which serves
+//!   *hyperslab* (subslab) requests reading only the necessary bytes,
+//!   exactly what the paper's `NETCDF3` reader does;
+//! * [`driver`] — AQL session readers `NETCDF1`…`NETCDF4` (subslab of
+//!   a k-d variable by inclusive bounds, as in the §4.2 session) and
+//!   `NETCDFINFO` (variable inventory);
+//! * [`synth`] — deterministic synthetic weather datasets standing in
+//!   for the paper's 1995 NYC observations (see DESIGN.md for the
+//!   substitution rationale).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod format;
+pub mod model;
+pub mod read;
+pub mod synth;
+pub mod write;
+
+pub use driver::register_netcdf;
+pub use format::NcType;
+pub use model::{NcAttr, NcDim, NcError, NcFile, NcValues, NcVar};

@@ -1,0 +1,571 @@
+//! Parser and hyperslab reader for the NetCDF classic format.
+//!
+//! [`read_header`] parses the header (dimensions, attributes, variable
+//! metadata with data offsets). [`SlabReader`] then serves *subslab*
+//! (hyperslab) requests — `start`/`count` vectors per dimension —
+//! reading only the bytes that contribute to the result, which is
+//! exactly what the paper's `NETCDF3` reader does when it extracts a
+//! bounded region of a variable (§4.1–4.2).
+
+use std::fs::File;
+use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::format::{NcType, MAGIC, NC_ATTRIBUTE, NC_DIMENSION, NC_VARIABLE, VERSION_64BIT, VERSION_CLASSIC};
+use crate::model::{NcAttr, NcDim, NcError, NcFile, NcValues, NcVar};
+
+/// Variable metadata with its on-disk layout.
+#[derive(Debug, Clone)]
+pub struct VarMeta {
+    /// The variable.
+    pub var: NcVar,
+    /// Stored `vsize` (padded byte size of the variable / one record).
+    pub vsize: u64,
+    /// Byte offset of the variable's data.
+    pub begin: u64,
+}
+
+/// A parsed header.
+#[derive(Debug, Clone)]
+pub struct Header {
+    /// Format version byte (1 or 2).
+    pub version: u8,
+    /// Number of records.
+    pub numrecs: u32,
+    /// Dimensions.
+    pub dims: Vec<NcDim>,
+    /// Global attributes.
+    pub gattrs: Vec<NcAttr>,
+    /// Variables with layout info.
+    pub vars: Vec<VarMeta>,
+}
+
+impl Header {
+    /// Resolved shape of a variable (record dim → numrecs).
+    pub fn shape(&self, var: &NcVar) -> Result<Vec<u64>, NcError> {
+        var.dimids
+            .iter()
+            .map(|&d| {
+                let dim = self
+                    .dims
+                    .get(d)
+                    .ok_or_else(|| NcError::Format(format!("bad dimid {d}")))?;
+                Ok(if dim.is_record() { self.numrecs as u64 } else { dim.len as u64 })
+            })
+            .collect()
+    }
+
+    /// Is the variable a record variable?
+    pub fn is_record_var(&self, var: &NcVar) -> bool {
+        var.dimids
+            .first()
+            .and_then(|&d| self.dims.get(d))
+            .is_some_and(NcDim::is_record)
+    }
+
+    /// Find a variable by name.
+    pub fn find(&self, name: &str) -> Result<&VarMeta, NcError> {
+        self.vars
+            .iter()
+            .find(|m| m.var.name == name)
+            .ok_or_else(|| NcError::NotFound(format!("variable `{name}`")))
+    }
+
+    /// Byte distance between consecutive records (per spec: the sum of
+    /// the record variables' vsizes, except a *single* record variable
+    /// whose records are packed without padding).
+    pub fn record_stride(&self) -> u64 {
+        let rec: Vec<&VarMeta> = self
+            .vars
+            .iter()
+            .filter(|m| self.is_record_var(&m.var))
+            .collect();
+        match rec.len() {
+            0 => 0,
+            1 => {
+                let m = rec[0];
+                let per: u64 = self
+                    .shape(&m.var)
+                    .map(|s| s.iter().skip(1).product::<u64>())
+                    .unwrap_or(0);
+                per * m.var.ty.size()
+            }
+            _ => rec.iter().map(|m| m.vsize).sum(),
+        }
+    }
+}
+
+struct Cur<'a, R: Read + Seek> {
+    r: &'a mut R,
+    pos: u64,
+}
+
+impl<'a, R: Read + Seek> Cur<'a, R> {
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, NcError> {
+        let mut buf = vec![0u8; n];
+        self.r
+            .read_exact(&mut buf)
+            .map_err(|e| NcError::Format(format!("truncated header at byte {}: {e}", self.pos)))?;
+        self.pos += n as u64;
+        Ok(buf)
+    }
+
+    fn u32(&mut self) -> Result<u32, NcError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, NcError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn name(&mut self) -> Result<String, NcError> {
+        let n = self.u32()? as usize;
+        let raw = self.bytes(n)?;
+        let padding = (4 - n % 4) % 4;
+        self.bytes(padding)?;
+        String::from_utf8(raw).map_err(|_| NcError::Format("non-UTF-8 name".into()))
+    }
+
+    fn values(&mut self, ty: NcType, n: usize) -> Result<NcValues, NcError> {
+        let byte_len = n as u64 * ty.size();
+        let raw = self.bytes(byte_len as usize)?;
+        let padding = ((4 - byte_len % 4) % 4) as usize;
+        self.bytes(padding)?;
+        Ok(decode(ty, &raw, n))
+    }
+
+    fn attr_list(&mut self) -> Result<Vec<NcAttr>, NcError> {
+        let tag = self.u32()?;
+        let n = self.u32()? as usize;
+        if tag == 0 && n == 0 {
+            return Ok(Vec::new());
+        }
+        if tag != NC_ATTRIBUTE {
+            return Err(NcError::Format(format!("expected attribute tag, got {tag:#x}")));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.name()?;
+            let code = self.u32()?;
+            let ty = NcType::from_code(code)
+                .ok_or_else(|| NcError::Format(format!("bad nc_type {code}")))?;
+            let count = self.u32()? as usize;
+            let values = self.values(ty, count)?;
+            out.push(NcAttr { name, values });
+        }
+        Ok(out)
+    }
+}
+
+/// Decode `n` big-endian values of type `ty` from `raw`.
+pub fn decode(ty: NcType, raw: &[u8], n: usize) -> NcValues {
+    match ty {
+        NcType::Byte => NcValues::Byte(raw[..n].iter().map(|&b| b as i8).collect()),
+        NcType::Char => NcValues::Char(raw[..n].to_vec()),
+        NcType::Short => NcValues::Short(
+            (0..n)
+                .map(|i| i16::from_be_bytes([raw[2 * i], raw[2 * i + 1]]))
+                .collect(),
+        ),
+        NcType::Int => NcValues::Int(
+            (0..n)
+                .map(|i| {
+                    i32::from_be_bytes([raw[4 * i], raw[4 * i + 1], raw[4 * i + 2], raw[4 * i + 3]])
+                })
+                .collect(),
+        ),
+        NcType::Float => NcValues::Float(
+            (0..n)
+                .map(|i| {
+                    f32::from_be_bytes([raw[4 * i], raw[4 * i + 1], raw[4 * i + 2], raw[4 * i + 3]])
+                })
+                .collect(),
+        ),
+        NcType::Double => NcValues::Double(
+            (0..n)
+                .map(|i| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&raw[8 * i..8 * i + 8]);
+                    f64::from_be_bytes(b)
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Parse the header from the start of `r`.
+pub fn read_header<R: Read + Seek>(r: &mut R) -> Result<Header, NcError> {
+    r.seek(SeekFrom::Start(0))?;
+    let mut c = Cur { r, pos: 0 };
+    let magic = c.bytes(4)?;
+    if &magic[0..3] != MAGIC {
+        return Err(NcError::Format("not a NetCDF classic file (bad magic)".into()));
+    }
+    let version = magic[3];
+    if version != VERSION_CLASSIC && version != VERSION_64BIT {
+        return Err(NcError::Format(format!("unsupported NetCDF version {version}")));
+    }
+    let numrecs = c.u32()?;
+
+    // dim_list
+    let tag = c.u32()?;
+    let ndims = c.u32()? as usize;
+    let mut dims = Vec::with_capacity(ndims);
+    if !(tag == 0 && ndims == 0) {
+        if tag != NC_DIMENSION {
+            return Err(NcError::Format(format!("expected dimension tag, got {tag:#x}")));
+        }
+        for _ in 0..ndims {
+            let name = c.name()?;
+            let len = c.u32()?;
+            dims.push(NcDim { name, len });
+        }
+    }
+
+    let gattrs = c.attr_list()?;
+
+    // var_list
+    let tag = c.u32()?;
+    let nvars = c.u32()? as usize;
+    let mut vars = Vec::with_capacity(nvars);
+    if !(tag == 0 && nvars == 0) {
+        if tag != NC_VARIABLE {
+            return Err(NcError::Format(format!("expected variable tag, got {tag:#x}")));
+        }
+        for _ in 0..nvars {
+            let name = c.name()?;
+            let nd = c.u32()? as usize;
+            let mut dimids = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                dimids.push(c.u32()? as usize);
+            }
+            let attrs = c.attr_list()?;
+            let code = c.u32()?;
+            let ty = NcType::from_code(code)
+                .ok_or_else(|| NcError::Format(format!("bad nc_type {code}")))?;
+            let vsize = c.u32()? as u64;
+            let begin = if version == VERSION_64BIT { c.u64()? } else { c.u32()? as u64 };
+            vars.push(VarMeta { var: NcVar { name, dimids, attrs, ty }, vsize, begin });
+        }
+    }
+
+    Ok(Header { version, numrecs, dims, gattrs, vars })
+}
+
+/// A reader serving hyperslab requests against an open dataset.
+pub struct SlabReader<R: Read + Seek> {
+    src: R,
+    /// The parsed header.
+    pub header: Header,
+}
+
+impl SlabReader<BufReader<File>> {
+    /// Open a dataset file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, NcError> {
+        let mut src = BufReader::new(File::open(path)?);
+        let header = read_header(&mut src)?;
+        Ok(SlabReader { src, header })
+    }
+}
+
+impl SlabReader<Cursor<Vec<u8>>> {
+    /// Read a dataset from bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, NcError> {
+        let mut src = Cursor::new(bytes);
+        let header = read_header(&mut src)?;
+        Ok(SlabReader { src, header })
+    }
+}
+
+impl<R: Read + Seek> SlabReader<R> {
+    /// Read the hyperslab `start[j] .. start[j]+count[j]` of variable
+    /// `name`, returning the values in row-major order.
+    pub fn read_slab(
+        &mut self,
+        name: &str,
+        start: &[u64],
+        count: &[u64],
+    ) -> Result<NcValues, NcError> {
+        let meta = self.header.find(name)?.clone();
+        let shape = self.header.shape(&meta.var)?;
+        let k = shape.len();
+        if start.len() != k || count.len() != k {
+            return Err(NcError::Slab(format!(
+                "variable `{name}` has {k} dimension(s); start/count have {}/{}",
+                start.len(),
+                count.len()
+            )));
+        }
+        for j in 0..k {
+            if start[j].checked_add(count[j]).is_none_or(|end| end > shape[j]) {
+                return Err(NcError::Slab(format!(
+                    "dimension {j}: start {} + count {} exceeds extent {}",
+                    start[j], count[j], shape[j]
+                )));
+            }
+        }
+        let total: u64 = count.iter().product();
+        if total == 0 {
+            return Ok(NcValues::empty(meta.var.ty));
+        }
+
+        let tsize = meta.var.ty.size();
+        let is_rec = self.header.is_record_var(&meta.var);
+        let rec_stride = self.header.record_stride();
+
+        // Row-major element strides within the variable. For record
+        // variables the outermost "stride" is the record stride in
+        // *bytes*, handled separately.
+        let inner_shape = if is_rec { &shape[1..] } else { &shape[..] };
+        let mut elem_strides = vec![1u64; inner_shape.len()];
+        for j in (0..inner_shape.len().saturating_sub(1)).rev() {
+            elem_strides[j] = elem_strides[j + 1] * inner_shape[j + 1];
+        }
+
+        // Iterate all index combinations except the last dimension,
+        // reading a contiguous run of `count[k-1]` values each time.
+        let run = count[k - 1];
+        let mut raw = Vec::with_capacity((total * tsize) as usize);
+        let mut idx = start.to_vec();
+        loop {
+            // Byte offset of the run starting at `idx`.
+            let mut off = meta.begin;
+            if is_rec {
+                off += idx[0] * rec_stride;
+                for (j, &i) in idx.iter().enumerate().skip(1) {
+                    off += i * elem_strides[j - 1] * tsize;
+                }
+            } else {
+                for (j, &i) in idx.iter().enumerate() {
+                    off += i * elem_strides[j] * tsize;
+                }
+            }
+            // A 1-d record variable reads one value per record.
+            let this_run = if is_rec && k == 1 { 1 } else { run };
+            let byte_len = (this_run * tsize) as usize;
+            let at = raw.len();
+            raw.resize(at + byte_len, 0);
+            self.src.seek(SeekFrom::Start(off))?;
+            self.src
+                .read_exact(&mut raw[at..])
+                .map_err(|e| NcError::Io(format!("reading `{name}` at {off}: {e}")))?;
+
+            // Advance the multi-index (skipping the run dimension,
+            // except for 1-d record variables which step per record).
+            let step_from = if is_rec && k == 1 { 1 } else { k - 1 };
+            let mut j = step_from;
+            loop {
+                if j == 0 {
+                    return Ok(decode(meta.var.ty, &raw, total as usize));
+                }
+                j -= 1;
+                idx[j] += 1;
+                if idx[j] < start[j] + count[j] {
+                    break;
+                }
+                idx[j] = start[j];
+            }
+        }
+    }
+
+    /// Read a whole variable, returning values and resolved shape.
+    pub fn read_all(&mut self, name: &str) -> Result<(NcValues, Vec<u64>), NcError> {
+        let meta = self.header.find(name)?.clone();
+        let shape = self.header.shape(&meta.var)?;
+        let start = vec![0u64; shape.len()];
+        let vals = self.read_slab(name, &start, &shape)?;
+        Ok((vals, shape))
+    }
+}
+
+/// Fully materialise a dataset from bytes (header + all data).
+pub fn from_bytes_full(bytes: Vec<u8>) -> Result<NcFile, NcError> {
+    let mut r = SlabReader::from_bytes(bytes)?;
+    let header = r.header.clone();
+    let mut f = NcFile {
+        dims: header.dims.clone(),
+        gattrs: header.gattrs.clone(),
+        vars: Vec::new(),
+        data: Vec::new(),
+        numrecs: header.numrecs,
+    };
+    for m in &header.vars {
+        let (vals, _) = r.read_all(&m.var.name)?;
+        f.vars.push(m.var.clone());
+        f.data.push(vals);
+    }
+    Ok(f)
+}
+
+/// Fully materialise a dataset from a file.
+pub fn read_file_full(path: impl AsRef<Path>) -> Result<NcFile, NcError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes_full(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::to_bytes;
+
+    /// A dataset with fixed and record variables, attributes, multiple
+    /// types.
+    fn sample() -> NcFile {
+        let mut f = NcFile::new();
+        let t = f.add_dim("time", 0);
+        let lat = f.add_dim("lat", 2);
+        let lon = f.add_dim("lon", 3);
+        f.numrecs = 4;
+        f.gattrs.push(NcAttr::text("title", "synthetic weather"));
+        f.add_var(
+            "temp",
+            vec![t, lat, lon],
+            NcType::Float,
+            vec![NcAttr::text("units", "degF"), NcAttr::double("missing", -999.0)],
+            NcValues::Float((0..24).map(|i| i as f32 * 0.5).collect()),
+        )
+        .unwrap();
+        f.add_var(
+            "elev",
+            vec![lat, lon],
+            NcType::Int,
+            vec![],
+            NcValues::Int((0..6).map(|i| i * 100).collect()),
+        )
+        .unwrap();
+        f.add_var(
+            "tick",
+            vec![t],
+            NcType::Short,
+            vec![],
+            NcValues::Short(vec![10, 11, 12, 13]),
+        )
+        .unwrap();
+        f
+    }
+
+    #[test]
+    fn roundtrip_both_versions() {
+        for version in [VERSION_CLASSIC, VERSION_64BIT] {
+            let f = sample();
+            let bytes = to_bytes(&f, version).unwrap();
+            let back = from_bytes_full(bytes).unwrap();
+            assert_eq!(back.numrecs, 4);
+            assert_eq!(back.dims, f.dims);
+            assert_eq!(back.gattrs, f.gattrs);
+            assert_eq!(back.vars.len(), 3);
+            for i in 0..3 {
+                assert_eq!(back.vars[i], f.vars[i], "v{version} var {i}");
+                assert_eq!(back.data[i], f.data[i], "v{version} data {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hyperslab_matches_full_read() {
+        let f = sample();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let mut r = SlabReader::from_bytes(bytes).unwrap();
+
+        // temp[1..3, 0..2, 1..3] against the full data.
+        let slab = r.read_slab("temp", &[1, 0, 1], &[2, 2, 2]).unwrap();
+        let NcValues::Float(got) = slab else { panic!("type") };
+        let full = match &f.data[0] {
+            NcValues::Float(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        let mut expect = Vec::new();
+        for rec in 1..3 {
+            for la in 0..2 {
+                for lo in 1..3 {
+                    expect.push(full[rec * 6 + la * 3 + lo]);
+                }
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fixed_var_hyperslab() {
+        let f = sample();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let mut r = SlabReader::from_bytes(bytes).unwrap();
+        let slab = r.read_slab("elev", &[1, 1], &[1, 2]).unwrap();
+        assert_eq!(slab, NcValues::Int(vec![400, 500]));
+    }
+
+    #[test]
+    fn one_dim_record_var() {
+        let f = sample();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let mut r = SlabReader::from_bytes(bytes).unwrap();
+        let slab = r.read_slab("tick", &[1], &[2]).unwrap();
+        assert_eq!(slab, NcValues::Short(vec![11, 12]));
+    }
+
+    #[test]
+    fn empty_slab() {
+        let f = sample();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let mut r = SlabReader::from_bytes(bytes).unwrap();
+        let slab = r.read_slab("tick", &[2], &[0]).unwrap();
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_slabs_rejected() {
+        let f = sample();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let mut r = SlabReader::from_bytes(bytes).unwrap();
+        assert!(matches!(
+            r.read_slab("tick", &[3], &[2]),
+            Err(NcError::Slab(_))
+        ));
+        assert!(matches!(
+            r.read_slab("tick", &[0], &[2, 2]),
+            Err(NcError::Slab(_))
+        ));
+        assert!(matches!(
+            r.read_slab("nope", &[0], &[1]),
+            Err(NcError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes_full(b"HDF5xxxx".to_vec()).unwrap_err();
+        assert!(matches!(err, NcError::Format(_)));
+        let err = from_bytes_full(b"CD".to_vec()).unwrap_err();
+        assert!(matches!(err, NcError::Format(_)));
+    }
+
+    #[test]
+    fn single_record_variable_is_unpadded() {
+        // One record var of 1 short: records at stride 2, not 4.
+        let mut f = NcFile::new();
+        let t = f.add_dim("time", 0);
+        f.numrecs = 3;
+        f.add_var(
+            "s",
+            vec![t],
+            NcType::Short,
+            vec![],
+            NcValues::Short(vec![7, 8, 9]),
+        )
+        .unwrap();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let back = from_bytes_full(bytes).unwrap();
+        assert_eq!(back.data[0], NcValues::Short(vec![7, 8, 9]));
+    }
+
+    #[test]
+    fn dataset_without_dims_or_vars() {
+        let f = NcFile::new();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        let back = from_bytes_full(bytes).unwrap();
+        assert!(back.dims.is_empty());
+        assert!(back.vars.is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! Synthetic weather data.
+//!
+//! The paper's examples run against real NYC observations (`temp.nc`
+//! etc.) which we do not have; per the reproduction's substitution
+//! policy, this module generates *deterministic* synthetic datasets
+//! with the same shapes and realistic structure (diurnal and seasonal
+//! cycles, heat waves, anti-correlated humidity), written as genuine
+//! NetCDF classic files so the whole driver code path is exercised.
+//!
+//! Determinism comes from a small xorshift PRNG with a fixed seed —
+//! examples, tests and benches all see identical data.
+
+use std::f64::consts::TAU;
+use std::path::{Path, PathBuf};
+
+use crate::format::{NcType, VERSION_CLASSIC};
+use crate::model::{NcAttr, NcError, NcFile, NcValues};
+use crate::write::write_file;
+
+/// Deterministic xorshift64* generator.
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift(seed.max(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [-a, a].
+    pub fn jitter(&mut self, a: f64) -> f64 {
+        (self.unit() * 2.0 - 1.0) * a
+    }
+}
+
+/// Days in June (the §1 query's month).
+pub const JUNE_DAYS: usize = 30;
+/// Hours in the June datasets.
+pub const JUNE_HOURS: usize = JUNE_DAYS * 24;
+/// Altitude levels of the wind-speed array (§1: "ranging over various
+/// altitudes"; index 0 is the surface level the query projects).
+pub const WS_LEVELS: usize = 5;
+/// The June days (1-based) made "unbearably hot" by construction, so
+/// the §1 heat-index query has a known answer.
+pub const HEATWAVE_DAYS: [usize; 3] = [11, 18, 26];
+
+/// Hourly surface temperature for June (°F): diurnal cycle around a
+/// slowly rising base, with strong heat waves on [`HEATWAVE_DAYS`].
+pub fn june_temp() -> Vec<f64> {
+    let mut rng = Xorshift::new(0xA71);
+    (0..JUNE_HOURS)
+        .map(|h| {
+            let day = h / 24;
+            let hour = (h % 24) as f64;
+            let base = 72.0 + 6.0 * (day as f64 / JUNE_DAYS as f64);
+            let diurnal = 9.0 * ((hour - 14.0) / 24.0 * TAU).cos();
+            let wave = if HEATWAVE_DAYS.contains(&(day + 1)) { 14.0 } else { 0.0 };
+            base + diurnal + wave + rng.jitter(1.0)
+        })
+        .collect()
+}
+
+/// Hourly relative humidity for June (%): anti-correlated with the
+/// diurnal temperature cycle, extra-humid on heat-wave days (which is
+/// what pushes the heat index over the threshold).
+pub fn june_rh() -> Vec<f64> {
+    let mut rng = Xorshift::new(0xB52);
+    (0..JUNE_HOURS)
+        .map(|h| {
+            let day = h / 24;
+            let hour = (h % 24) as f64;
+            let diurnal = -18.0 * ((hour - 14.0) / 24.0 * TAU).cos();
+            let wave = if HEATWAVE_DAYS.contains(&(day + 1)) { 18.0 } else { 0.0 };
+            (55.0 + diurnal + wave + rng.jitter(4.0)).clamp(15.0, 100.0)
+        })
+        .collect()
+}
+
+/// Half-hourly wind speed over altitude levels (mph), row-major
+/// `(time, level)`: `2 · JUNE_HOURS` half-hour steps × [`WS_LEVELS`]
+/// levels. Calm on heat-wave days; speed grows with altitude.
+pub fn june_ws() -> Vec<f64> {
+    let mut rng = Xorshift::new(0xC93);
+    let steps = JUNE_HOURS * 2;
+    let mut out = Vec::with_capacity(steps * WS_LEVELS);
+    for s in 0..steps {
+        let day = s / 48;
+        let calm = if HEATWAVE_DAYS.contains(&(day + 1)) { 0.25 } else { 1.0 };
+        let breeze = 8.0 + 3.0 * ((s as f64 / 48.0) * TAU / 7.0).sin();
+        for level in 0..WS_LEVELS {
+            let altitude_gain = 1.0 + 0.35 * level as f64;
+            out.push((breeze * calm * altitude_gain + rng.jitter(1.2)).max(0.0));
+        }
+    }
+    out
+}
+
+/// Build the June dataset (`T`, `RH`, `WS`) as a NetCDF file in
+/// memory: exactly the three §1 inputs, with their differing
+/// dimensionalities and griddings.
+pub fn june_weather_file() -> Result<NcFile, NcError> {
+    let mut f = NcFile::new();
+    let time = f.add_dim("time", JUNE_HOURS as u32);
+    let time_half = f.add_dim("time_half", (JUNE_HOURS * 2) as u32);
+    let level = f.add_dim("level", WS_LEVELS as u32);
+    f.gattrs.push(NcAttr::text("title", "synthetic NYC June weather"));
+    f.gattrs.push(NcAttr::text("convention", "paper §1 inputs T, RH, WS"));
+    f.add_var(
+        "T",
+        vec![time],
+        NcType::Double,
+        vec![NcAttr::text("units", "degF")],
+        NcValues::Double(june_temp()),
+    )?;
+    f.add_var(
+        "RH",
+        vec![time],
+        NcType::Double,
+        vec![NcAttr::text("units", "percent")],
+        NcValues::Double(june_rh()),
+    )?;
+    f.add_var(
+        "WS",
+        vec![time_half, level],
+        NcType::Double,
+        vec![NcAttr::text("units", "mph")],
+        NcValues::Double(june_ws()),
+    )?;
+    Ok(f)
+}
+
+/// Latitude grid for the year file (NYC at index 2).
+pub const LAT_GRID: [f64; 5] = [40.20, 40.45, 40.70, 40.95, 41.20];
+/// Longitude grid for the year file (NYC at index 2).
+pub const LON_GRID: [f64; 5] = [-74.50, -74.25, -74.00, -73.75, -73.50];
+
+/// Index of the grid point nearest a coordinate.
+pub fn nearest_index(grid: &[f64], x: f64) -> usize {
+    let mut best = 0;
+    for (i, g) in grid.iter().enumerate() {
+        if (g - x).abs() < (grid[best] - x).abs() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// A year's worth of hourly temperature over a small lat/lon grid —
+/// the `temp.nc` of the §4.2 session. `temp(time, lat, lon)` with
+/// `time` the record dimension (8760 records). Seasonal + diurnal
+/// cycles; the evenings of a few specific June days stay hot (so the
+/// "hotter than 85° after sunset" query has a known answer).
+pub fn year_temp_file() -> Result<NcFile, NcError> {
+    let hours = 365 * 24;
+    let mut f = NcFile::new();
+    let time = f.add_dim("time", 0); // record dimension
+    let lat = f.add_dim("lat", LAT_GRID.len() as u32);
+    let lon = f.add_dim("lon", LON_GRID.len() as u32);
+    f.numrecs = hours as u32;
+    f.gattrs.push(NcAttr::text("title", "synthetic yearly temperature"));
+
+    f.add_var(
+        "lat",
+        vec![lat],
+        NcType::Double,
+        vec![NcAttr::text("units", "degrees_north")],
+        NcValues::Double(LAT_GRID.to_vec()),
+    )?;
+    f.add_var(
+        "lon",
+        vec![lon],
+        NcType::Double,
+        vec![NcAttr::text("units", "degrees_east")],
+        NcValues::Double(LON_GRID.to_vec()),
+    )?;
+
+    let mut rng = Xorshift::new(0xD14);
+    let nlat = LAT_GRID.len();
+    let nlon = LON_GRID.len();
+    let mut data = Vec::with_capacity(hours * nlat * nlon);
+    for h in 0..hours {
+        let day = h / 24;
+        let hour = (h % 24) as f64;
+        // Season peaks mid-July (day ~200).
+        let season = 55.0 + 25.0 * (((day as f64 - 200.0) / 365.0) * TAU).cos();
+        let diurnal = 8.0 * ((hour - 14.0) / 24.0 * TAU).cos();
+        // Hot June evenings placed so that the §4.2 session's query —
+        // run *verbatim*, with the paper's own `days_since_1_1` macro,
+        // which indexes days of the year 1-based — answers {25,27,28}.
+        // Under that convention, query-day d corresponds to day-of-year
+        // (0-based) `days_before_june() + d`.
+        let paper_june_day = day as i64 - days_before_june() as i64;
+        let hot_evening = if [25, 27, 28].contains(&paper_june_day) && hour >= 18.0 {
+            16.0
+        } else {
+            0.0
+        };
+        for la in 0..nlat {
+            for lo in 0..nlon {
+                let coastal = 0.6 * (la as f64 - 2.0) - 0.4 * (lo as f64 - 2.0);
+                data.push(season + diurnal + hot_evening + coastal + rng.jitter(0.8));
+            }
+        }
+    }
+    f.add_var(
+        "temp",
+        vec![time, lat, lon],
+        NcType::Double,
+        vec![NcAttr::text("units", "degF")],
+        NcValues::Double(data),
+    )?;
+    Ok(f)
+}
+
+/// Days before June 1 in a non-leap year (the §4.2 session uses 1995).
+pub fn days_before_june() -> usize {
+    31 + 28 + 31 + 30 + 31
+}
+
+/// Write both synthetic datasets into `dir`, returning
+/// `(temp.nc, wx_june.nc)` paths. Files are only rewritten when
+/// missing, so repeated example/bench runs are cheap.
+pub fn write_example_data(dir: &Path) -> Result<(PathBuf, PathBuf), NcError> {
+    std::fs::create_dir_all(dir)?;
+    let temp = dir.join("temp.nc");
+    let june = dir.join("wx_june.nc");
+    if !temp.exists() {
+        write_file(&year_temp_file()?, &temp, VERSION_CLASSIC)?;
+    }
+    if !june.exists() {
+        write_file(&june_weather_file()?, &june, VERSION_CLASSIC)?;
+    }
+    Ok((temp, june))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::from_bytes_full;
+    use crate::write::to_bytes;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(june_temp(), june_temp());
+        assert_eq!(june_rh(), june_rh());
+        assert_eq!(june_ws(), june_ws());
+    }
+
+    #[test]
+    fn june_shapes_match_the_paper() {
+        let f = june_weather_file().unwrap();
+        let (_, t) = f.find_var("T").unwrap();
+        assert_eq!(f.var_shape(t).unwrap(), vec![720]);
+        let (_, ws) = f.find_var("WS").unwrap();
+        // Extra altitude dimension, half-hourly gridding (§1).
+        assert_eq!(f.var_shape(ws).unwrap(), vec![1440, 5]);
+    }
+
+    #[test]
+    fn heatwave_days_are_hotter() {
+        let t = june_temp();
+        let day_max = |d: usize| -> f64 {
+            (0..24).map(|h| t[(d - 1) * 24 + h]).fold(f64::MIN, f64::max)
+        };
+        for &d in &HEATWAVE_DAYS {
+            assert!(day_max(d) > 88.0, "heat-wave day {d} max {}", day_max(d));
+        }
+        // A quiet day stays cooler than every heat-wave day.
+        assert!(day_max(5) < day_max(HEATWAVE_DAYS[0]) - 8.0);
+    }
+
+    #[test]
+    fn rh_is_in_range() {
+        assert!(june_rh().iter().all(|&x| (15.0..=100.0).contains(&x)));
+        assert!(june_ws().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn june_file_roundtrips() {
+        let f = june_weather_file().unwrap();
+        let back = from_bytes_full(to_bytes(&f, VERSION_CLASSIC).unwrap()).unwrap();
+        assert_eq!(back.vars.len(), 3);
+        assert_eq!(back.data[0], f.data[0]);
+        assert_eq!(back.data[2], f.data[2]);
+    }
+
+    #[test]
+    fn year_file_has_hot_june_evenings() {
+        let f = year_temp_file().unwrap();
+        let (vi, var) = f.find_var("temp").unwrap();
+        let shape = f.var_shape(var).unwrap();
+        assert_eq!(shape, vec![8760, 5, 5]);
+        let data = match &f.data[vi] {
+            NcValues::Double(v) => v,
+            _ => panic!("type"),
+        };
+        let nyc = |h: usize| data[h * 25 + 2 * 5 + 2];
+        // Paper-day 25 at 22:00 vs paper-day 24 at 22:00.
+        let h25 = (days_before_june() + 25) * 24 + 22;
+        let h24 = (days_before_june() + 24) * 24 + 22;
+        assert!(nyc(h25) > nyc(h24) + 8.0);
+    }
+
+    #[test]
+    fn nearest_index_picks_nyc() {
+        assert_eq!(nearest_index(&LAT_GRID, 40.7), 2);
+        assert_eq!(nearest_index(&LON_GRID, -74.0), 2);
+        assert_eq!(nearest_index(&LAT_GRID, 39.0), 0);
+        assert_eq!(nearest_index(&LAT_GRID, 45.0), 4);
+    }
+
+    #[test]
+    fn write_example_data_creates_files() {
+        let dir = std::env::temp_dir().join(format!("aql-synth-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (temp, june) = write_example_data(&dir).unwrap();
+        assert!(temp.exists());
+        assert!(june.exists());
+        // Second call is a no-op (files kept).
+        let before = std::fs::metadata(&temp).unwrap().modified().unwrap();
+        write_example_data(&dir).unwrap();
+        let after = std::fs::metadata(&temp).unwrap().modified().unwrap();
+        assert_eq!(before, after);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

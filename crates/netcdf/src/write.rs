@@ -1,0 +1,303 @@
+//! Serializer for the NetCDF classic format (CDF-1 / CDF-2).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::format::{
+    pad4, MAGIC, NC_ATTRIBUTE, NC_DIMENSION, NC_VARIABLE, VERSION_64BIT, VERSION_CLASSIC,
+};
+use crate::model::{NcAttr, NcError, NcFile, NcValues};
+
+/// Serialize a dataset to classic bytes. `version` is
+/// [`VERSION_CLASSIC`] (32-bit offsets) or [`VERSION_64BIT`].
+pub fn to_bytes(f: &NcFile, version: u8) -> Result<Vec<u8>, NcError> {
+    if version != VERSION_CLASSIC && version != VERSION_64BIT {
+        return Err(NcError::Format(format!("unsupported version byte {version}")));
+    }
+    validate(f)?;
+
+    // First pass: header size with placeholder begins.
+    let begin_size: u64 = if version == VERSION_64BIT { 8 } else { 4 };
+    let header_len = header_bytes(f, version, &vec![0; f.vars.len()])?.len() as u64;
+
+    // Assign data offsets: fixed variables first, then the record
+    // section, in declaration order.
+    let mut begins = vec![0u64; f.vars.len()];
+    let mut cur = pad4(header_len);
+    for (i, v) in f.vars.iter().enumerate() {
+        if !f.is_record_var(v) {
+            begins[i] = cur;
+            cur += f.vsize(v)?;
+        }
+    }
+    let rec_stride = f.record_stride()?;
+    let mut rec_cur = cur;
+    for (i, v) in f.vars.iter().enumerate() {
+        if f.is_record_var(v) {
+            begins[i] = rec_cur;
+            // Offsets of record vars within one record use the padded
+            // vsize (the unpadded single-var case has one var anyway).
+            rec_cur += f.vsize(v)?;
+        }
+    }
+    if version == VERSION_CLASSIC {
+        let max_begin = begins.iter().copied().max().unwrap_or(0);
+        if max_begin > u32::MAX as u64 {
+            return Err(NcError::Format(
+                "dataset too large for CDF-1 32-bit offsets; use CDF-2".into(),
+            ));
+        }
+    }
+    let _ = begin_size;
+
+    // Second pass: real header, then data.
+    let mut out = header_bytes(f, version, &begins)?;
+    out.resize(pad4(out.len() as u64) as usize, 0);
+
+    // Fixed data.
+    for (i, v) in f.vars.iter().enumerate() {
+        if !f.is_record_var(v) {
+            debug_assert_eq!(out.len() as u64, begins[i]);
+            write_values(&mut out, &f.data[i], 0, f.data[i].len());
+            pad_to4(&mut out);
+        }
+    }
+    // Record data: records interleaved across record variables.
+    let rec_vars: Vec<usize> = (0..f.vars.len())
+        .filter(|&i| f.is_record_var(&f.vars[i]))
+        .collect();
+    if !rec_vars.is_empty() {
+        let single = rec_vars.len() == 1;
+        for r in 0..f.numrecs as usize {
+            for &i in &rec_vars {
+                let v = &f.vars[i];
+                let per_rec = (f.record_row_bytes(v)? / v.ty.size()) as usize;
+                write_values(&mut out, &f.data[i], r * per_rec, per_rec);
+                if !single {
+                    pad_to4(&mut out);
+                }
+            }
+        }
+        let _ = rec_stride;
+    }
+    Ok(out)
+}
+
+/// Write a dataset to a file.
+pub fn write_file(f: &NcFile, path: impl AsRef<Path>, version: u8) -> Result<(), NcError> {
+    let bytes = to_bytes(f, version)?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+fn validate(f: &NcFile) -> Result<(), NcError> {
+    let record_dims = f.dims.iter().filter(|d| d.is_record()).count();
+    if record_dims > 1 {
+        return Err(NcError::Model("at most one record dimension is allowed".into()));
+    }
+    for v in &f.vars {
+        for (pos, &d) in v.dimids.iter().enumerate() {
+            let dim = f
+                .dims
+                .get(d)
+                .ok_or_else(|| NcError::Model(format!("variable `{}`: bad dimid {d}", v.name)))?;
+            if dim.is_record() && pos != 0 {
+                return Err(NcError::Model(format!(
+                    "variable `{}`: the record dimension must come first",
+                    v.name
+                )));
+            }
+        }
+        if v.dimids.is_empty() {
+            return Err(NcError::Model(format!(
+                "variable `{}`: scalar variables are not supported by this writer",
+                v.name
+            )));
+        }
+    }
+    if f.vars.len() != f.data.len() {
+        return Err(NcError::Model("vars/data length mismatch".into()));
+    }
+    Ok(())
+}
+
+fn header_bytes(f: &NcFile, version: u8, begins: &[u64]) -> Result<Vec<u8>, NcError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(version);
+    be32(&mut out, f.numrecs);
+
+    // dim_list
+    if f.dims.is_empty() {
+        be32(&mut out, 0);
+        be32(&mut out, 0);
+    } else {
+        be32(&mut out, NC_DIMENSION);
+        be32(&mut out, f.dims.len() as u32);
+        for d in &f.dims {
+            name(&mut out, &d.name);
+            be32(&mut out, d.len);
+        }
+    }
+    attr_list(&mut out, &f.gattrs);
+
+    // var_list
+    if f.vars.is_empty() {
+        be32(&mut out, 0);
+        be32(&mut out, 0);
+    } else {
+        be32(&mut out, NC_VARIABLE);
+        be32(&mut out, f.vars.len() as u32);
+        for (i, v) in f.vars.iter().enumerate() {
+            name(&mut out, &v.name);
+            be32(&mut out, v.dimids.len() as u32);
+            for &d in &v.dimids {
+                be32(&mut out, d as u32);
+            }
+            attr_list(&mut out, &v.attrs);
+            be32(&mut out, v.ty.code());
+            let vsize = f.vsize(v)?;
+            be32(&mut out, vsize.min(u32::MAX as u64) as u32);
+            if version == VERSION_64BIT {
+                out.extend_from_slice(&begins[i].to_be_bytes());
+            } else {
+                be32(&mut out, begins[i] as u32);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn attr_list(out: &mut Vec<u8>, attrs: &[NcAttr]) {
+    if attrs.is_empty() {
+        be32(out, 0);
+        be32(out, 0);
+        return;
+    }
+    be32(out, NC_ATTRIBUTE);
+    be32(out, attrs.len() as u32);
+    for a in attrs {
+        name(out, &a.name);
+        be32(out, a.values.ty().code());
+        be32(out, a.values.len() as u32);
+        write_values(out, &a.values, 0, a.values.len());
+        pad_to4(out);
+    }
+}
+
+fn name(out: &mut Vec<u8>, s: &str) {
+    be32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+    pad_to4(out);
+}
+
+fn be32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn pad_to4(out: &mut Vec<u8>) {
+    while !out.len().is_multiple_of(4) {
+        out.push(0);
+    }
+}
+
+/// Append `count` big-endian values starting at `offset`.
+fn write_values(out: &mut Vec<u8>, vals: &NcValues, offset: usize, count: usize) {
+    match vals {
+        NcValues::Byte(v) => {
+            out.extend(v[offset..offset + count].iter().map(|&x| x as u8))
+        }
+        NcValues::Char(v) => out.extend_from_slice(&v[offset..offset + count]),
+        NcValues::Short(v) => {
+            for x in &v[offset..offset + count] {
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+        }
+        NcValues::Int(v) => {
+            for x in &v[offset..offset + count] {
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+        }
+        NcValues::Float(v) => {
+            for x in &v[offset..offset + count] {
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+        }
+        NcValues::Double(v) => {
+            for x in &v[offset..offset + count] {
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::NcType;
+    use crate::model::NcDim;
+
+    #[test]
+    fn header_magic_and_numrecs() {
+        let mut f = NcFile::new();
+        f.add_dim("x", 2);
+        f.add_var(
+            "v",
+            vec![0],
+            NcType::Int,
+            vec![],
+            NcValues::Int(vec![1, 2]),
+        )
+        .unwrap();
+        let b = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        assert_eq!(&b[0..3], MAGIC);
+        assert_eq!(b[3], VERSION_CLASSIC);
+        assert_eq!(u32::from_be_bytes([b[4], b[5], b[6], b[7]]), 0);
+    }
+
+    #[test]
+    fn data_is_big_endian_and_padded() {
+        let mut f = NcFile::new();
+        f.add_dim("x", 1);
+        f.add_var("v", vec![0], NcType::Short, vec![], NcValues::Short(vec![0x1234]))
+            .unwrap();
+        let b = to_bytes(&f, VERSION_CLASSIC).unwrap();
+        // The last 4 bytes hold the short padded to 4.
+        assert_eq!(&b[b.len() - 4..], &[0x12, 0x34, 0x00, 0x00]);
+        assert_eq!(b.len() % 4, 0);
+    }
+
+    #[test]
+    fn rejects_invalid_models() {
+        let mut f = NcFile::new();
+        f.dims.push(NcDim { name: "t".into(), len: 0 });
+        f.dims.push(NcDim { name: "u".into(), len: 0 });
+        assert!(matches!(
+            to_bytes(&f, VERSION_CLASSIC),
+            Err(NcError::Model(_))
+        ));
+        // Record dimension not first.
+        let mut f = NcFile::new();
+        let t = f.add_dim("t", 0);
+        let x = f.add_dim("x", 1);
+        f.numrecs = 1;
+        f.vars.push(crate::model::NcVar {
+            name: "v".into(),
+            dimids: vec![x, t],
+            attrs: vec![],
+            ty: NcType::Int,
+        });
+        f.data.push(NcValues::Int(vec![0]));
+        assert!(matches!(
+            to_bytes(&f, VERSION_CLASSIC),
+            Err(NcError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let f = NcFile::new();
+        assert!(to_bytes(&f, 9).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: a guided tour of AQL.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Walks through the language exactly as §2–§3 of the paper introduce
+//! it: values, comprehensions, patterns, arrays as functions
+//! (tabulate / subscript / dim), the `index` group-by, macros, and the
+//! exchange-format I/O — printing each statement and the session's
+//! `typ`/`val` echo.
+
+use aql::lang::session::Session;
+
+fn show(session: &mut Session, src: &str) {
+    println!(": {}", src.trim());
+    match session.run(src) {
+        Ok(outcomes) => {
+            for o in outcomes {
+                println!("{}", o.text);
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let mut s = Session::new();
+
+    println!("=== AQL quickstart ===\n");
+
+    println!("--- complex objects: sets, tuples, comprehensions ---");
+    show(&mut s, "val \\R = {(1, \"one\"), (2, \"two\"), (3, \"three\")};");
+    show(&mut s, "{n | (\\n, _) <- R, n % 2 = 1};");
+    show(&mut s, "{(x, y) | \\x <- gen!3, \\y <- gen!3, x < y};");
+
+    println!("--- patterns: the natural join of §3 ---");
+    show(&mut s, "val \\S = {(1, 10.5), (3, 30.5)};");
+    show(&mut s, "{(x, name, v) | (\\x, \\name) <- R, (x, \\v) <- S};");
+
+    println!("--- arrays are functions: tabulate, subscript, dim ---");
+    show(&mut s, "val \\squares = [[ i * i | \\i < 10 ]];");
+    show(&mut s, "squares[7];");
+    show(&mut s, "len!squares;");
+    show(&mut s, "val \\M = [[2, 3; 1, 2, 3, 4, 5, 6]];");
+    show(&mut s, "M[1, 2];");
+    show(&mut s, "transpose!M;");
+
+    println!("--- the derived operators of §2 (prelude macros) ---");
+    show(&mut s, "evenpos![[0, 1, 2, 3, 4, 5, 6, 7]];");
+    show(&mut s, "reverse![[1, 2, 3]];");
+    show(&mut s, "zip!([[1, 2, 3]], [[\"a\", \"b\"]]);");
+    show(&mut s, "subseq!([[10, 20, 30, 40, 50]], 1, 3);");
+    show(
+        &mut s,
+        "matmul!([[2, 2; 1, 2, 3, 4]], [[2, 2; 5, 6, 7, 8]]);",
+    );
+
+    println!("--- array generators and the index group-by of §2 ---");
+    show(&mut s, "{i | [\\i : \\x] <- squares, x > 50};");
+    show(&mut s, "index_1!{(1, \"a\"), (3, \"b\"), (1, \"c\")};");
+
+    println!("--- aggregates via summation ---");
+    show(&mut s, "summap(fn \\x => x * x)!(gen!5);");
+    show(&mut s, "count!(rng![[3, 1, 4, 1, 5, 9, 2, 6]]);");
+
+    println!("--- user macros ---");
+    show(
+        &mut s,
+        "macro \\dot = fn (\\a, \\b) => summap(fn \\i => a[i] * b[i])!(dom!a);",
+    );
+    show(&mut s, "dot!([[1, 2, 3]], [[4, 5, 6]]);");
+
+    println!("--- exchange-format I/O (readval / writeval, §4) ---");
+    let dir = std::env::temp_dir().join("aql-quickstart");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("result.co");
+    let p = path.to_str().expect("utf-8 path");
+    show(&mut s, &format!("writeval {{x * 2 | \\x <- gen!5}} using COFILE at \"{p}\";"));
+    show(&mut s, &format!("readval \\back using COFILE at \"{p}\";"));
+    show(&mut s, "max!back;");
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!("=== done ===");
+}

@@ -1,0 +1,57 @@
+//! An interactive AQL read-eval-print loop (§4).
+//!
+//! Run with `cargo run --example repl`, then type statements ending in
+//! `;`. The prompt mirrors the paper's transcript (`:` with `::`
+//! continuation lines). `quit;`-free exit: type `quit` or press
+//! Ctrl-D.
+//!
+//! The session starts with the prelude macros, the `COFILE` driver,
+//! the `NETCDF1..4`/`NETCDFINFO` drivers, and the `heatindex` /
+//! `june_sunset` externals registered. Synthetic datasets are written
+//! to a temp directory and announced at startup, so paper queries can
+//! be typed directly.
+
+use std::io::{BufReader, Write};
+
+use aql::externals::{register_heatindex, register_june_sunset};
+use aql::lang::repl::run_repl;
+use aql::lang::session::Session;
+use aql::netcdf::driver::register_netcdf;
+use aql::netcdf::synth;
+
+fn main() {
+    let dir = std::env::temp_dir().join("aql-repl-data");
+    let (temp, june) = synth::write_example_data(&dir).expect("write synthetic data");
+
+    let mut session = Session::new();
+    register_netcdf(&mut session);
+    register_heatindex(&mut session);
+    register_june_sunset(&mut session);
+
+    println!("AQL — a query language for multidimensional arrays (SIGMOD '96)");
+    println!("Statements end with `;`. Type `quit` or Ctrl-D to exit.\n");
+    println!("Registered readers: COFILE, NETCDF1..NETCDF4, NETCDFINFO");
+    println!("Registered externals: heatindex, june_sunset");
+    println!("Prelude macros: {}\n", session.macro_names().join(", "));
+    println!("Synthetic data:");
+    println!("  year of hourly temps : {}", temp.display());
+    println!("  June weather (T/RH/WS): {}\n", june.display());
+    println!("Try:");
+    println!("  {{x * x | \\x <- gen!10, x % 2 = 0}};");
+    println!(
+        "  readval \\info using NETCDFINFO at \"{}\";",
+        june.display()
+    );
+    println!(
+        "  readval \\T using NETCDF1 at (\"{}\", \"T\", 0, 719);",
+        june.display()
+    );
+    println!("  max!(rng!T);\n");
+
+    let stdin = std::io::stdin();
+    let mut input = BufReader::new(stdin.lock());
+    let stdout = std::io::stdout();
+    let mut output = stdout.lock();
+    let n = run_repl(&mut session, &mut input, &mut output).expect("repl I/O");
+    let _ = writeln!(output, "\n{n} statement(s) executed. Goodbye.");
+}

@@ -1,0 +1,18 @@
+//! # aql — umbrella crate
+//!
+//! Re-exports the full AQL system: the NRCA core calculus
+//! ([`aql_core`]), the surface language and session ([`aql_lang`]),
+//! the optimizer ([`aql_opt`]) and the NetCDF driver ([`aql_netcdf`]).
+//!
+//! This is a from-scratch Rust reproduction of *Libkin, Machlin &
+//! Wong, "A Query Language for Multidimensional Arrays: Design,
+//! Implementation, and Optimization Techniques" (SIGMOD 1996)*.
+//! See the repository README for a tour and `examples/` for runnable
+//! programs.
+
+pub mod externals;
+
+pub use aql_core as core;
+pub use aql_lang as lang;
+pub use aql_netcdf as netcdf;
+pub use aql_opt as opt;

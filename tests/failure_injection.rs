@@ -1,0 +1,191 @@
+//! Failure injection: every failure mode of the open architecture —
+//! failing readers and writers, failing and ⊥-receiving external
+//! primitives, resource exhaustion, hostile optimizer rules — must
+//! surface as a reported error and leave the session usable.
+
+use std::rc::Rc;
+
+use aql::lang::errors::LangError;
+use aql::lang::reader::{Reader, Writer};
+use aql::lang::session::Session;
+use aql_core::error::EvalError;
+use aql_core::eval::Limits;
+use aql_core::prim::NativeFn;
+use aql_core::types::Type;
+use aql_core::value::Value;
+
+/// A reader that always fails.
+struct BrokenReader;
+impl Reader for BrokenReader {
+    fn read(&self, _arg: &Value) -> Result<(Value, Option<Type>), LangError> {
+        Err(LangError::session("device unplugged"))
+    }
+}
+
+/// A writer that always fails.
+struct BrokenWriter;
+impl Writer for BrokenWriter {
+    fn write(&self, _arg: &Value, _data: &Value) -> Result<(), LangError> {
+        Err(LangError::session("disk full"))
+    }
+}
+
+#[test]
+fn failing_reader_leaves_session_usable() {
+    let mut s = Session::new();
+    s.register_reader("BROKEN", Rc::new(BrokenReader));
+    let err = s.run("readval \\x using BROKEN at 0;").unwrap_err();
+    assert!(err.to_string().contains("device unplugged"));
+    // The failed readval bound nothing...
+    assert!(s.eval_query("x").is_err());
+    // ...and the session still evaluates.
+    let (_, v) = s.eval_query("1 + 1").unwrap();
+    assert_eq!(v, Value::Nat(2));
+}
+
+#[test]
+fn failing_writer_reports_and_recovers() {
+    let mut s = Session::new();
+    s.register_writer("BROKEN", Rc::new(BrokenWriter));
+    let err = s.run("writeval {1} using BROKEN at 0;").unwrap_err();
+    assert!(err.to_string().contains("disk full"));
+    let (_, v) = s.eval_query("2 * 2").unwrap();
+    assert_eq!(v, Value::Nat(4));
+}
+
+#[test]
+fn failing_external_is_attributed() {
+    let mut s = Session::new();
+    s.register_external(NativeFn::new(
+        "flaky",
+        Type::fun(Type::Nat, Type::Nat),
+        |v| {
+            let n = v.as_nat()?;
+            if n > 5 {
+                Err(EvalError::External {
+                    name: "flaky".into(),
+                    message: "input too large".into(),
+                })
+            } else {
+                Ok(Value::Nat(n))
+            }
+        },
+    ));
+    let (_, v) = s.eval_query("flaky!3").unwrap();
+    assert_eq!(v, Value::Nat(3));
+    let err = s.eval_query("flaky!9").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("flaky") && msg.contains("input too large"), "{msg}");
+    // An external that misuses its argument shape is attributed too.
+    s.register_external(NativeFn::new(
+        "confused",
+        Type::fun(Type::Nat, Type::Nat),
+        |v| v.as_bool().map(Value::Bool),
+    ));
+    let err = s.eval_query("confused!1").unwrap_err();
+    assert!(err.to_string().contains("confused"), "{err}");
+}
+
+#[test]
+fn externals_see_bottom_as_bottom() {
+    // ⊥ short-circuits *before* host code runs: an external that would
+    // crash on ⊥ is never entered.
+    let mut s = Session::new();
+    s.register_external(NativeFn::new(
+        "fragile",
+        Type::fun(Type::Nat, Type::Nat),
+        |v| Ok(Value::Nat(v.as_nat()? + 1)),
+    ));
+    let (_, v) = s.eval_query("fragile!([[1]][9])").unwrap();
+    assert!(v.is_bottom());
+}
+
+#[test]
+fn resource_exhaustion_is_clean() {
+    let mut s = Session::new();
+    s.limits = Limits { max_elems: 1_000, max_steps: 1_000_000 };
+    // Oversized tabulation.
+    let err = s.eval_query("[[ i | \\i < 100000 ]]").unwrap_err();
+    assert!(matches!(
+        err,
+        LangError::Eval(EvalError::ResourceLimit { .. })
+    ));
+    // Oversized gen inside a comprehension.
+    let err = s.eval_query("{x | \\x <- gen!100000}").unwrap_err();
+    assert!(matches!(
+        err,
+        LangError::Eval(EvalError::ResourceLimit { .. })
+    ));
+    // Step exhaustion.
+    s.limits = Limits { max_elems: 1 << 20, max_steps: 100 };
+    let err = s
+        .eval_query("summap(fn \\x => x)!(gen!1000)")
+        .unwrap_err();
+    assert!(matches!(err, LangError::Eval(EvalError::StepLimit)));
+    // Recovery after raising limits.
+    s.limits = Limits::default();
+    let (_, v) = s.eval_query("summap(fn \\x => x)!(gen!10)").unwrap();
+    assert_eq!(v, Value::Nat(45));
+}
+
+#[test]
+fn overflow_reported_not_wrapped() {
+    let mut s = Session::new();
+    s.run("val \\big = 18446744073709551615;").unwrap();
+    let err = s.eval_query("big + 1").unwrap_err();
+    assert!(matches!(err, LangError::Eval(EvalError::Overflow)));
+    let err = s.eval_query("big * 2").unwrap_err();
+    assert!(matches!(err, LangError::Eval(EvalError::Overflow)));
+    // Monus saturates rather than overflowing (the paper's ∸).
+    let (_, v) = s.eval_query("0 - big").unwrap();
+    assert_eq!(v, Value::Nat(0));
+}
+
+#[test]
+fn hostile_optimizer_rule_is_contained() {
+    use aql::opt::{Phase, Rule};
+    use aql_core::expr::Expr;
+
+    /// Rewrites forever by flipping operands.
+    struct Flip;
+    impl Rule for Flip {
+        fn name(&self) -> &'static str {
+            "flip"
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            match e {
+                Expr::Arith(op, a, b) => Some(Expr::Arith(*op, b.clone(), a.clone())),
+                _ => None,
+            }
+        }
+    }
+
+    let mut s = Session::new();
+    let mut phase = Phase::new("hostile");
+    phase.add_rule(Rc::new(Flip));
+    s.optimizer_mut().add_phase(phase);
+    // The engine's bounds keep this terminating; + is commutative on
+    // nat, so the answer is even still right.
+    let (_, v) = s.eval_query("20 + 22").unwrap();
+    assert_eq!(v, Value::Nat(42));
+}
+
+#[test]
+fn reshape_macros_guard_against_shape_lies() {
+    let mut s = Session::new();
+    // Exact reshape works; flatten inverts.
+    let (_, v) = s
+        .eval_query("flatten!(reshape!([[1, 2, 3, 4, 5, 6]], 2, 3))")
+        .unwrap();
+    let ns: Vec<u64> = v
+        .as_array()
+        .unwrap()
+        .data()
+        .iter()
+        .map(|x| x.as_nat().unwrap())
+        .collect();
+    assert_eq!(ns, vec![1, 2, 3, 4, 5, 6]);
+    // Reshaping beyond the source is ⊥ (out-of-bounds read poisons).
+    let (_, v) = s.eval_query("reshape!([[1, 2]], 2, 3)").unwrap();
+    assert!(v.is_bottom());
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the NetCDF substrate: random datasets
+//! roundtrip through the writer and reader (both CDF versions), and
+//! random hyperslabs agree with slicing the full read.
+
+use proptest::prelude::*;
+
+use aql::netcdf::format::{NcType, VERSION_64BIT, VERSION_CLASSIC};
+use aql::netcdf::model::{NcAttr, NcFile, NcValues};
+use aql::netcdf::read::{from_bytes_full, SlabReader};
+use aql::netcdf::write::to_bytes;
+
+/// A random fixed-shape dataset description: up to 3 dims of extent
+/// 1..5, 1..3 variables of random type.
+#[derive(Debug, Clone)]
+struct Spec {
+    dims: Vec<u32>,
+    vars: Vec<(NcType, Vec<usize>)>,
+    record: bool,
+    numrecs: u32,
+}
+
+fn arb_type() -> impl Strategy<Value = NcType> {
+    prop_oneof![
+        Just(NcType::Byte),
+        Just(NcType::Short),
+        Just(NcType::Int),
+        Just(NcType::Float),
+        Just(NcType::Double),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec(1u32..5, 1..4),
+        any::<bool>(),
+        1u32..4,
+    )
+        .prop_flat_map(|(dims, record, numrecs)| {
+            let ndims = dims.len();
+            let var = (
+                arb_type(),
+                prop::collection::vec(0..ndims, 1..=ndims.min(3)),
+            );
+            prop::collection::vec(var, 1..4).prop_map(move |vars| Spec {
+                dims: dims.clone(),
+                vars,
+                record,
+                numrecs,
+            })
+        })
+}
+
+/// Materialise a spec into a dataset with deterministic data.
+fn build(spec: &Spec) -> NcFile {
+    let mut f = NcFile::new();
+    // Optionally make dim 0 the record dimension.
+    for (i, &d) in spec.dims.iter().enumerate() {
+        if i == 0 && spec.record {
+            f.add_dim("time", 0);
+        } else {
+            f.add_dim(&format!("d{i}"), d);
+        }
+    }
+    f.numrecs = spec.numrecs;
+    f.gattrs.push(NcAttr::text("title", "prop"));
+    for (vi, (ty, raw_dimids)) in spec.vars.iter().cloned().enumerate() {
+        // Sanitise: drop duplicate dims, and move the record dimension
+        // (id 0, when enabled) to the front, as the format requires.
+        let mut dimids: Vec<usize> = Vec::new();
+        for d in raw_dimids {
+            if !dimids.contains(&d) {
+                dimids.push(d);
+            }
+        }
+        if spec.record {
+            if let Some(pos) = dimids.iter().position(|&d| d == 0) {
+                dimids.remove(pos);
+                dimids.insert(0, 0);
+            }
+        }
+        if dimids.is_empty() {
+            dimids.push(0);
+        }
+        let var = aql::netcdf::model::NcVar {
+            name: format!("v{vi}"),
+            dimids: dimids.clone(),
+            attrs: vec![],
+            ty,
+        };
+        let n = f.var_shape(&var).expect("shape").iter().product::<u64>() as usize;
+        let data = match ty {
+            NcType::Byte => NcValues::Byte((0..n).map(|i| (i % 127) as i8 - 50).collect()),
+            NcType::Char => NcValues::Char((0..n).map(|i| (i % 26) as u8 + b'a').collect()),
+            NcType::Short => NcValues::Short((0..n).map(|i| i as i16 - 100).collect()),
+            NcType::Int => NcValues::Int((0..n).map(|i| i as i32 * 7 - 999).collect()),
+            NcType::Float => NcValues::Float((0..n).map(|i| i as f32 * 0.25 - 3.0).collect()),
+            NcType::Double => NcValues::Double((0..n).map(|i| i as f64 * 0.125 - 9.0).collect()),
+        };
+        f.add_var(&var.name, dimids, ty, vec![], data).expect("add_var");
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_both_versions(spec in arb_spec()) {
+        let f = build(&spec);
+        for version in [VERSION_CLASSIC, VERSION_64BIT] {
+            let bytes = to_bytes(&f, version).expect("serialize");
+            let back = from_bytes_full(bytes).expect("parse");
+            prop_assert_eq!(&back.dims, &f.dims);
+            prop_assert_eq!(&back.gattrs, &f.gattrs);
+            prop_assert_eq!(back.vars.len(), f.vars.len());
+            for i in 0..f.vars.len() {
+                prop_assert_eq!(&back.vars[i], &f.vars[i]);
+                prop_assert_eq!(&back.data[i], &f.data[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn hyperslab_agrees_with_full_read(
+        spec in arb_spec(),
+        frac in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3),
+    ) {
+        let f = build(&spec);
+        let bytes = to_bytes(&f, VERSION_CLASSIC).expect("serialize");
+        let mut r = SlabReader::from_bytes(bytes).expect("open");
+
+        for (vi, var) in f.vars.iter().enumerate() {
+            let shape = f.var_shape(var).expect("shape");
+            // Derive an in-bounds start/count from the fractions.
+            let mut start = Vec::new();
+            let mut count = Vec::new();
+            for (j, &extent) in shape.iter().enumerate() {
+                let (a, b) = frac[j.min(frac.len() - 1)];
+                let s = (a * extent as f64) as u64;
+                let s = s.min(extent.saturating_sub(1));
+                let maxc = extent - s;
+                let c = ((b * maxc as f64) as u64).max(1).min(maxc);
+                start.push(s);
+                count.push(c);
+            }
+            if shape.contains(&0) {
+                continue;
+            }
+            let slab = r.read_slab(&var.name, &start, &count).expect("slab");
+            // Compare against slicing the in-memory data.
+            let expect = slice_reference(&f.data[vi], &shape, &start, &count);
+            prop_assert_eq!(slab, expect, "var {} start {:?} count {:?}", var.name, start, count);
+        }
+    }
+}
+
+/// Reference row-major slicing of in-memory values.
+fn slice_reference(data: &NcValues, shape: &[u64], start: &[u64], count: &[u64]) -> NcValues {
+    let k = shape.len();
+    let mut strides = vec![1u64; k];
+    for j in (0..k.saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1] * shape[j + 1];
+    }
+    let total: u64 = count.iter().product();
+    let mut picks = Vec::with_capacity(total as usize);
+    let mut idx = vec![0u64; k];
+    for _ in 0..total {
+        let off: u64 = idx
+            .iter()
+            .zip(start)
+            .zip(&strides)
+            .map(|((i, s), st)| (i + s) * st)
+            .sum();
+        picks.push(off as usize);
+        for j in (0..k).rev() {
+            idx[j] += 1;
+            if idx[j] < count[j] {
+                break;
+            }
+            idx[j] = 0;
+        }
+    }
+    match data {
+        NcValues::Byte(v) => NcValues::Byte(picks.iter().map(|&i| v[i]).collect()),
+        NcValues::Char(v) => NcValues::Char(picks.iter().map(|&i| v[i]).collect()),
+        NcValues::Short(v) => NcValues::Short(picks.iter().map(|&i| v[i]).collect()),
+        NcValues::Int(v) => NcValues::Int(picks.iter().map(|&i| v[i]).collect()),
+        NcValues::Float(v) => NcValues::Float(picks.iter().map(|&i| v[i]).collect()),
+        NcValues::Double(v) => NcValues::Double(picks.iter().map(|&i| v[i]).collect()),
+    }
+}

@@ -33,6 +33,18 @@ pub enum LangError {
     /// A session-level problem: unknown reader/writer, duplicate name,
     /// I/O failure, macro cycle, …
     Session(String),
+    /// An untrusted extension (reader, writer, or optimizer rule)
+    /// panicked. The panic was caught at the session boundary; the
+    /// session remains usable.
+    ExtensionPanic {
+        /// What kind of extension panicked (`"reader"`, `"writer"`,
+        /// `"optimizer rule"`, …).
+        kind: &'static str,
+        /// The registered name of the extension.
+        name: String,
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
 }
 
 impl LangError {
@@ -55,6 +67,15 @@ impl LangError {
     pub fn session(message: impl Into<String>) -> LangError {
         LangError::Session(message.into())
     }
+
+    /// Construct an extension-panic error.
+    pub fn extension_panic(
+        kind: &'static str,
+        name: impl Into<String>,
+        message: impl Into<String>,
+    ) -> LangError {
+        LangError::ExtensionPanic { kind, name: name.into(), message: message.into() }
+    }
 }
 
 impl fmt::Display for LangError {
@@ -70,6 +91,9 @@ impl fmt::Display for LangError {
             LangError::Type(e) => write!(f, "type error: {e}"),
             LangError::Eval(e) => write!(f, "evaluation error: {e}"),
             LangError::Session(m) => write!(f, "session error: {m}"),
+            LangError::ExtensionPanic { kind, name, message } => {
+                write!(f, "{kind} `{name}` panicked: {message}")
+            }
         }
     }
 }

@@ -550,7 +550,12 @@ impl Parser {
                 self.bump();
                 match self.bump() {
                     Tok::Real(r) => Ok(Pattern::Const(Lit::Real(-r))),
-                    _ => unreachable!("peeked"),
+                    // The guard peeked a real here; reaching any other
+                    // token is a lexer/parser desync. Report it as a
+                    // parse error rather than aborting the host.
+                    other => Err(self.err(format!(
+                        "expected a real literal after `-` in pattern, found `{other}`"
+                    ))),
                 }
             }
             Tok::LParen => {

@@ -340,7 +340,7 @@ impl Session {
                     .ok_or_else(|| {
                         LangError::session(format!("no reader registered as `{reader}`"))
                     })?;
-                let (v, declared) = r.read(&argv)?;
+                let (v, declared) = catch_extension("reader", reader, || r.read(&argv))??;
                 let ty = declared
                     .or_else(|| type_of_value(&v))
                     .ok_or_else(|| {
@@ -371,7 +371,7 @@ impl Session {
                     .ok_or_else(|| {
                         LangError::session(format!("no writer registered as `{writer}`"))
                     })?;
-                w.write(&argv, &v)?;
+                catch_extension("writer", writer, || w.write(&argv, &v))??;
                 Ok(Outcome {
                     text: format!("val it = () written using {writer}."),
                     kind: OutcomeKind::Write,
@@ -394,11 +394,19 @@ impl Session {
         let resolved = self.resolve(core);
         let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
         let optimized = if self.optimize {
-            self.optimizer.optimize(&resolved)
+            // Rules are extension code: a panicking rule is contained
+            // and named, and the session stays usable.
+            self.optimizer.try_optimize(&resolved).map_err(|p| {
+                LangError::extension_panic(
+                    "optimizer rule",
+                    p.rule,
+                    format!("{} (phase `{}`)", p.message, p.phase),
+                )
+            })?
         } else {
             resolved
         };
-        let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits);
+        let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits.clone());
         let v = eval(&optimized, &ctx).map_err(LangError::Eval)?;
         Ok((ty, v))
     }
@@ -509,7 +517,7 @@ impl Session {
     /// The evaluation context over this session's registries
     /// (used by benches that need direct evaluator access).
     pub fn eval_expr_raw(&self, e: &Expr) -> Result<Value, EvalError> {
-        let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits);
+        let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits.clone());
         eval(e, &ctx)
     }
 
@@ -521,7 +529,14 @@ impl Session {
         let core = desugar(&surface)?;
         let resolved = self.resolve(&core);
         let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
-        let (optimized, trace) = self.optimizer.optimize_traced(&resolved);
+        let (optimized, trace) =
+            self.optimizer.try_optimize_traced(&resolved).map_err(|p| {
+                LangError::extension_panic(
+                    "optimizer rule",
+                    p.rule,
+                    format!("{} (phase `{}`)", p.message, p.phase),
+                )
+            })?;
         Ok(Explain { ty, core: resolved, optimized, trace })
     }
 }
@@ -530,6 +545,25 @@ impl Default for Session {
     fn default() -> Self {
         Session::new()
     }
+}
+
+/// Run an untrusted extension call behind a panic guard. Readers and
+/// writers are host code plugged into the session at run time; a panic
+/// inside one must not take down the REPL. The panic is caught and
+/// surfaced as [`LangError::ExtensionPanic`] naming the extension, and
+/// the session remains usable.
+fn catch_extension<T>(
+    kind: &'static str,
+    ext_name: &str,
+    f: impl FnOnce() -> T,
+) -> Result<T, LangError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        LangError::extension_panic(
+            kind,
+            ext_name,
+            aql_core::prim::panic_message(payload.as_ref()),
+        )
+    })
 }
 
 /// Replace any unresolved inference variables in a statement's type
@@ -729,7 +763,7 @@ mod tests {
     #[test]
     fn resource_limits_apply() {
         let mut s = Session::new();
-        s.limits = Limits { max_elems: 100, max_steps: u64::MAX };
+        s.limits = Limits { max_elems: 100, ..Limits::default() };
         assert!(matches!(
             s.eval_query("gen!1000"),
             Err(LangError::Eval(EvalError::ResourceLimit { .. }))

@@ -24,6 +24,31 @@ pub trait Rule {
     fn apply(&self, e: &Expr) -> Option<Expr>;
 }
 
+/// A user-supplied rule panicked during application. The engine
+/// catches the panic (rules are untrusted extension code) and reports
+/// which rule, in which phase, with the stringified payload.
+#[derive(Debug, Clone)]
+pub struct RulePanic {
+    /// The phase the rule belongs to.
+    pub phase: String,
+    /// The rule that panicked.
+    pub rule: &'static str,
+    /// Best-effort text of the panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for RulePanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "optimizer rule `{}` (phase `{}`) panicked: {}",
+            self.rule, self.phase, self.message
+        )
+    }
+}
+
+impl std::error::Error for RulePanic {}
+
 /// One step of a rewrite, recorded when tracing.
 #[derive(Debug, Clone)]
 pub struct TraceStep {
@@ -103,30 +128,42 @@ impl Phase {
         self
     }
 
-    /// Run the phase to a fixpoint.
+    /// Run the phase to a fixpoint. A panicking rule propagates the
+    /// panic; use [`Phase::try_run`] to contain untrusted rules.
     pub fn run(&self, e: &Expr, trace: Option<&mut Trace>) -> Expr {
+        self.try_run(e, trace).unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// Run the phase to a fixpoint, containing rule panics: a rule
+    /// that panics aborts the phase with a [`RulePanic`] naming it.
+    pub fn try_run(&self, e: &Expr, trace: Option<&mut Trace>) -> Result<Expr, RulePanic> {
         let mut cur = e.clone();
         let mut trace = trace;
         for _ in 0..self.max_passes {
             let mut fired = 0usize;
-            cur = self.pass(&cur, &mut fired, trace.as_deref_mut());
+            cur = self.pass(&cur, &mut fired, trace.as_deref_mut())?;
             if fired == 0 {
                 break;
             }
         }
-        cur
+        Ok(cur)
     }
 
     /// One bottom-up pass: rewrite children first, then apply rules at
     /// this node until none fires (bounded).
-    fn pass(&self, e: &Expr, fired: &mut usize, mut trace: Option<&mut Trace>) -> Expr {
-        let rebuilt = map_children(e, |c| self.pass(c, fired, trace.as_deref_mut()));
+    fn pass(
+        &self,
+        e: &Expr,
+        fired: &mut usize,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<Expr, RulePanic> {
+        let rebuilt = try_map_children(e, |c| self.pass(c, fired, trace.as_deref_mut()))?;
         let mut cur = rebuilt;
         // Re-apply at the root while rules fire; a small bound keeps a
         // misbehaving user rule from looping forever.
         'outer: for _ in 0..32 {
             for r in &self.rules {
-                if let Some(next) = r.apply(&cur) {
+                if let Some(next) = self.apply_checked(r, &cur)? {
                     if let Some(t) = trace.as_deref_mut() {
                         t.steps.push(TraceStep {
                             phase: self.name.clone(),
@@ -142,7 +179,19 @@ impl Phase {
             }
             break;
         }
-        cur
+        Ok(cur)
+    }
+
+    /// Apply one rule with a panic guard: rules are extension code, so
+    /// a panic inside `apply` must not take down the host.
+    fn apply_checked(&self, r: &Rc<dyn Rule>, e: &Expr) -> Result<Option<Expr>, RulePanic> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.apply(e))).map_err(
+            |payload| RulePanic {
+                phase: self.name.clone(),
+                rule: r.name(),
+                message: aql_core::prim::panic_message(payload.as_ref()),
+            },
+        )
     }
 }
 
@@ -173,23 +222,63 @@ impl Optimizer {
         self.phases.iter_mut().find(|p| p.name == name)
     }
 
-    /// Optimize an expression.
+    /// Optimize an expression. A panicking rule propagates the panic;
+    /// hosts running untrusted rules use [`Optimizer::try_optimize`].
     pub fn optimize(&self, e: &Expr) -> Expr {
+        self.try_optimize(e).unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// Optimize, containing rule panics as [`RulePanic`] errors.
+    pub fn try_optimize(&self, e: &Expr) -> Result<Expr, RulePanic> {
         let mut cur = e.clone();
         for p in &self.phases {
-            cur = p.run(&cur, None);
+            cur = p.try_run(&cur, None)?;
         }
-        cur
+        Ok(cur)
     }
 
     /// Optimize and record every rule firing.
     pub fn optimize_traced(&self, e: &Expr) -> (Expr, Trace) {
+        let (cur, trace) = self
+            .try_optimize_traced(e)
+            .unwrap_or_else(|p| panic!("{p}"));
+        (cur, trace)
+    }
+
+    /// Traced optimization with rule panics contained.
+    pub fn try_optimize_traced(&self, e: &Expr) -> Result<(Expr, Trace), RulePanic> {
         let mut trace = Trace::default();
         let mut cur = e.clone();
         for p in &self.phases {
-            cur = p.run(&cur, Some(&mut trace));
+            cur = p.try_run(&cur, Some(&mut trace))?;
         }
-        (cur, trace)
+        Ok((cur, trace))
+    }
+}
+
+/// Fallible [`map_children`]: stops applying `f` at the first error
+/// and returns it (remaining children are copied unchanged before the
+/// partial rebuild is discarded).
+pub fn try_map_children<E>(
+    e: &Expr,
+    mut f: impl FnMut(&Expr) -> Result<Expr, E>,
+) -> Result<Expr, E> {
+    let mut err = None;
+    let rebuilt = map_children(e, |c| {
+        if err.is_some() {
+            return c.clone();
+        }
+        match f(c) {
+            Ok(x) => x,
+            Err(e2) => {
+                err = Some(e2);
+                c.clone()
+            }
+        }
+    });
+    match err {
+        Some(e2) => Err(e2),
+        None => Ok(rebuilt),
     }
 }
 

@@ -34,7 +34,9 @@ pub mod cost;
 pub mod engine;
 pub mod rules;
 
-pub use engine::{map_children, Optimizer, Phase, Rule, Trace, TraceStep};
+pub use engine::{
+    map_children, try_map_children, Optimizer, Phase, Rule, RulePanic, Trace, TraceStep,
+};
 pub use rules::{normalize_and_eliminate, normalizer, standard};
 
 /// Optimize with the standard §5 pipeline.

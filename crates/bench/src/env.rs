@@ -38,7 +38,7 @@ impl BenchEnv {
 
     /// Evaluate an expression as-is.
     pub fn eval(&self, e: &Expr) -> Value {
-        let ctx = EvalCtx::new(&self.globals, &self.externals).with_limits(self.limits);
+        let ctx = EvalCtx::new(&self.globals, &self.externals).with_limits(self.limits.clone());
         eval(e, &ctx).unwrap_or_else(|err| panic!("bench eval failed: {err} in {e}"))
     }
 

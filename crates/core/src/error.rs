@@ -83,6 +83,12 @@ pub enum EvalError {
     ResourceLimit { requested: u64, limit: u64 },
     /// The step budget was exhausted (guards runaway queries in tests).
     StepLimit,
+    /// The cooperative wall-clock deadline expired (see
+    /// `Limits::timeout`); checked on the step-count path.
+    Deadline,
+    /// Evaluation was cancelled via the cooperative cancellation flag
+    /// (see `Limits::cancel`).
+    Cancelled,
     /// An external primitive failed.
     External { name: String, message: String },
     /// A value of the wrong shape reached an operation; this indicates
@@ -100,6 +106,8 @@ impl fmt::Display for EvalError {
                 "resource limit exceeded: {requested} elements requested, limit {limit}"
             ),
             EvalError::StepLimit => write!(f, "evaluation step limit exhausted"),
+            EvalError::Deadline => write!(f, "evaluation deadline exceeded"),
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
             EvalError::External { name, message } => {
                 write!(f, "external primitive `{name}` failed: {message}")
             }

@@ -93,18 +93,42 @@ impl std::fmt::Debug for Closure {
 }
 
 /// Evaluation resource limits.
-#[derive(Debug, Clone, Copy)]
+///
+/// Besides the element/step budgets, a limit set can carry a
+/// *cooperative* wall-clock deadline and a cancellation flag. Both are
+/// checked on the existing step-count path (every
+/// [`INTERRUPT_CHECK_MASK`]+1 steps), so a runaway query is stopped
+/// without any signal handling — and a blocked *host* call is, by
+/// design, not interrupted (the contract is cooperative).
+#[derive(Debug, Clone)]
 pub struct Limits {
     /// Maximum number of elements any single `gen` / tabulation /
     /// `index` may materialise.
     pub max_elems: u64,
     /// Maximum number of evaluation steps (AST node visits).
     pub max_steps: u64,
+    /// Wall-clock budget for one evaluation, measured from context
+    /// construction (`None` = unlimited). Exceeding it surfaces
+    /// [`EvalError::Deadline`].
+    pub timeout: Option<std::time::Duration>,
+    /// Cooperative cancellation: set the flag (typically from another
+    /// thread) to stop the evaluation with [`EvalError::Cancelled`].
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
+
+/// `tick` checks the deadline/cancellation every `MASK + 1` steps.
+const INTERRUPT_CHECK_MASK: u64 = 0xFF;
 
 impl Default for Limits {
     fn default() -> Limits {
-        Limits { max_elems: 1 << 28, max_steps: u64::MAX }
+        Limits { max_elems: 1 << 28, max_steps: u64::MAX, timeout: None, cancel: None }
+    }
+}
+
+impl Limits {
+    /// The default limits with a wall-clock timeout.
+    pub fn with_timeout(timeout: std::time::Duration) -> Limits {
+        Limits { timeout: Some(timeout), ..Limits::default() }
     }
 }
 
@@ -117,17 +141,27 @@ pub struct EvalCtx<'a> {
     pub externals: &'a Extensions,
     /// Resource limits.
     pub limits: Limits,
+    /// Absolute deadline derived from `limits.timeout` at construction.
+    deadline: Option<std::time::Instant>,
     steps: Cell<u64>,
 }
 
 impl<'a> EvalCtx<'a> {
     /// Build a context over the given registries.
     pub fn new(globals: &'a HashMap<Name, Value>, externals: &'a Extensions) -> EvalCtx<'a> {
-        EvalCtx { globals, externals, limits: Limits::default(), steps: Cell::new(0) }
+        EvalCtx {
+            globals,
+            externals,
+            limits: Limits::default(),
+            deadline: None,
+            steps: Cell::new(0),
+        }
     }
 
-    /// Override the limits.
+    /// Override the limits. The wall-clock deadline (if any) starts
+    /// counting from this call.
     pub fn with_limits(mut self, limits: Limits) -> EvalCtx<'a> {
+        self.deadline = limits.timeout.map(|t| std::time::Instant::now() + t);
         self.limits = limits;
         self
     }
@@ -137,12 +171,32 @@ impl<'a> EvalCtx<'a> {
         self.steps.get()
     }
 
+    /// Check the cooperative deadline and cancellation flag. Called
+    /// periodically from [`EvalCtx::tick`]; callers doing long host-side
+    /// work may also call it directly.
+    pub fn check_interrupts(&self) -> Result<(), EvalError> {
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                return Err(EvalError::Deadline);
+            }
+        }
+        if let Some(flag) = &self.limits.cancel {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(EvalError::Cancelled);
+            }
+        }
+        Ok(())
+    }
+
     fn tick(&self) -> Result<(), EvalError> {
         let s = self.steps.get() + 1;
         if s > self.limits.max_steps {
             return Err(EvalError::StepLimit);
         }
         self.steps.set(s);
+        if s & INTERRUPT_CHECK_MASK == 0 {
+            self.check_interrupts()?;
+        }
         Ok(())
     }
 
@@ -910,7 +964,7 @@ mod tests {
         let globals = HashMap::new();
         let externals = Extensions::new();
         let ctx = EvalCtx::new(&globals, &externals)
-            .with_limits(Limits { max_elems: 10, max_steps: u64::MAX });
+            .with_limits(Limits { max_elems: 10, ..Limits::default() });
         let e = gen(nat(11));
         assert!(matches!(
             eval(&e, &ctx),
@@ -925,9 +979,42 @@ mod tests {
         let globals = HashMap::new();
         let externals = Extensions::new();
         let ctx = EvalCtx::new(&globals, &externals)
-            .with_limits(Limits { max_elems: 1 << 20, max_steps: 50 });
+            .with_limits(Limits { max_steps: 50, ..Limits::default() });
         let e = sum("x", gen(nat(100)), var("x"));
         assert_eq!(eval(&e, &ctx).unwrap_err(), EvalError::StepLimit);
+    }
+
+    #[test]
+    fn deadline_enforced_on_step_path() {
+        let globals = HashMap::new();
+        let externals = Extensions::new();
+        // A zero timeout expires before the first interrupt check.
+        let ctx = EvalCtx::new(&globals, &externals)
+            .with_limits(Limits::with_timeout(std::time::Duration::ZERO));
+        let e = sum("x", gen(nat(100_000)), var("x"));
+        assert_eq!(eval(&e, &ctx).unwrap_err(), EvalError::Deadline);
+        // A generous timeout does not fire on a small query.
+        let ctx = EvalCtx::new(&globals, &externals)
+            .with_limits(Limits::with_timeout(std::time::Duration::from_secs(3600)));
+        assert_eq!(eval(&add(nat(1), nat(2)), &ctx).unwrap(), Value::Nat(3));
+    }
+
+    #[test]
+    fn cancellation_flag_stops_evaluation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let globals = HashMap::new();
+        let externals = Extensions::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let limits = Limits { cancel: Some(flag.clone()), ..Limits::default() };
+        let ctx = EvalCtx::new(&globals, &externals).with_limits(limits);
+        // Not cancelled: runs to completion.
+        let e = sum("x", gen(nat(10)), var("x"));
+        assert_eq!(eval(&e, &ctx).unwrap(), Value::Nat(45));
+        // Cancelled before a long evaluation: stops cooperatively.
+        flag.store(true, Ordering::Relaxed);
+        let e = sum("x", gen(nat(100_000)), var("x"));
+        assert_eq!(eval(&e, &ctx).unwrap_err(), EvalError::Cancelled);
     }
 
     #[test]

@@ -53,17 +53,43 @@ impl NativeFn {
 
     /// Invoke the primitive. A strict `⊥` argument short-circuits to
     /// `⊥` without entering host code.
+    ///
+    /// Host code is untrusted: a panic inside the primitive is caught
+    /// and surfaced as [`EvalError::External`] naming the primitive,
+    /// so a buggy extension can never take down the evaluator.
     pub fn call(&self, arg: &Value) -> Result<Value, EvalError> {
         if arg.is_bottom() {
             return Ok(Value::Bottom);
         }
-        (self.f)(arg).map_err(|e| match e {
-            EvalError::External { .. } => e,
-            other => EvalError::External {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.f)(arg)));
+        match outcome {
+            Ok(res) => res.map_err(|e| match e {
+                EvalError::External { .. } => e,
+                other => EvalError::External {
+                    name: self.name.to_string(),
+                    message: other.to_string(),
+                },
+            }),
+            Err(payload) => Err(EvalError::External {
                 name: self.name.to_string(),
-                message: other.to_string(),
-            },
-        })
+                // `&*payload`, not `&payload`: the Box must deref so the
+                // payload, not the Box itself, is the `dyn Any`.
+                message: format!("panicked: {}", panic_message(&*payload)),
+            }),
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads
+/// cover `panic!`, `unwrap`, `expect`, and friends).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -165,6 +191,27 @@ mod tests {
             EvalError::External { name, .. } => assert_eq!(name, "bad"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn host_panics_are_caught_and_attributed() {
+        let f = NativeFn::new("crashy", Type::fun(Type::Nat, Type::Nat), |_| {
+            panic!("boom {}", 7)
+        });
+        let err = f.call(&Value::Nat(1)).unwrap_err();
+        match err {
+            EvalError::External { name, message } => {
+                assert_eq!(name, "crashy");
+                assert!(message.contains("panicked") && message.contains("boom 7"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The catch is per-call: the function is still usable… as is
+        // the evaluator that owns it.
+        let ok = NativeFn::new("fine", Type::fun(Type::Nat, Type::Nat), |v| {
+            Ok(Value::Nat(v.as_nat()? + 1))
+        });
+        assert_eq!(ok.call(&Value::Nat(1)).unwrap(), Value::Nat(2));
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! stream, these drivers deposit values *directly* as complex objects
 //! (no textual exchange step). Numeric external types are widened to
 //! `real`.
+//!
+//! Transient I/O failures (timeouts, interrupted calls — see
+//! [`crate::model::NcError::is_transient`]) are retried with bounded
+//! exponential backoff via [`crate::io::retry`]; each attempt reopens
+//! the source so no partial state leaks between attempts. Persistent
+//! failures propagate immediately with their original context.
 
 use std::rc::Rc;
 
@@ -20,8 +26,30 @@ use aql_lang::errors::LangError;
 use aql_lang::reader::Reader;
 use aql_lang::session::Session;
 
-use crate::model::NcValues;
+use crate::io::{retry, IoSource};
+use crate::model::{NcError, NcValues};
 use crate::read::SlabReader;
+
+/// Read a hyperslab through a freshly-opened source per attempt,
+/// retrying transient I/O errors with bounded backoff. `open` is
+/// called once per attempt so a failed attempt leaves no partial
+/// reader state behind. Exposed so tests can drive the retry loop
+/// with instrumented sources ([`crate::io::FaultyIo`]).
+pub fn read_slab_retrying<S, F>(
+    mut open: F,
+    var: &str,
+    start: &[u64],
+    count: &[u64],
+) -> Result<NcValues, NcError>
+where
+    S: IoSource,
+    F: FnMut() -> Result<S, NcError>,
+{
+    retry(|| {
+        let mut reader = SlabReader::from_source(open()?)?;
+        reader.read_slab(var, start, count)
+    })
+}
 
 /// A `NETCDFk` reader: extracts a k-dimensional subslab as
 /// `[[real]]_k`.
@@ -89,11 +117,15 @@ impl Reader for NetcdfSlabReader {
             count.push(hi[j] - lo[j] + 1);
         }
 
-        let mut reader = SlabReader::open(&file)
-            .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
-        let vals = reader
-            .read_slab(&varname, &lo, &count)
-            .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
+        let vals = read_slab_retrying(
+            || {
+                Ok(std::io::BufReader::new(std::fs::File::open(&file).map_err(NcError::from)?))
+            },
+            &varname,
+            &lo,
+            &count,
+        )
+        .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
         let arr = values_to_array(&vals, &count)
             .map_err(|m| LangError::session(format!("NETCDF{k}: {m}")))?;
         Ok((arr, Some(Type::array(Type::Real, k))))
@@ -127,8 +159,8 @@ impl Reader for NetcdfInfoReader {
                 )))
             }
         };
-        let reader =
-            SlabReader::open(&file).map_err(|e| LangError::session(format!("NETCDFINFO: {e}")))?;
+        let reader = retry(|| SlabReader::open(&file))
+            .map_err(|e| LangError::session(format!("NETCDFINFO: {e}")))?;
         let mut rows = Vec::new();
         for m in &reader.header.vars {
             let shape = reader
@@ -356,6 +388,83 @@ mod tests {
         assert!(w.write(&arg, &Value::Nat(2)).is_err(), "not an array");
         let strings = Value::array1(vec![Value::str("a")]);
         assert!(w.write(&arg, &strings).is_err(), "non-numeric elements");
+    }
+
+    #[test]
+    fn transient_faults_recover_via_retry() {
+        use crate::io::{FaultPlan, FaultyIo};
+        use crate::write::to_bytes;
+        let mut f = NcFile::new();
+        let x = f.add_dim("x", 4);
+        f.add_var("v", vec![x], NcType::Int, vec![], NcValues::Int(vec![1, 2, 3, 4])).unwrap();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+
+        // First attempt hits an injected transient error; the retry
+        // reopens a clean source and succeeds.
+        let mut attempts = 0;
+        let vals = read_slab_retrying(
+            || {
+                attempts += 1;
+                let plan = if attempts == 1 {
+                    FaultPlan::new().transient_at(0)
+                } else {
+                    FaultPlan::new()
+                };
+                Ok(FaultyIo::new(std::io::Cursor::new(bytes.clone()), plan))
+            },
+            "v",
+            &[1],
+            &[2],
+        )
+        .unwrap();
+        assert_eq!(vals, NcValues::Int(vec![2, 3]));
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn persistent_faults_fail_after_bounded_attempts() {
+        use crate::io::{FaultPlan, FaultyIo, RETRY_ATTEMPTS};
+        use crate::write::to_bytes;
+        let mut f = NcFile::new();
+        let x = f.add_dim("x", 2);
+        f.add_var("v", vec![x], NcType::Int, vec![], NcValues::Int(vec![7, 8])).unwrap();
+        let bytes = to_bytes(&f, VERSION_CLASSIC).unwrap();
+
+        // Every read fails transiently: the retry loop must give up
+        // after its bounded attempt budget with the original context.
+        let mut attempts = 0u32;
+        let err = read_slab_retrying(
+            || {
+                attempts += 1;
+                let plan = FaultPlan::new().transient_at(0).transient_at(1).transient_at(2);
+                Ok(FaultyIo::new(std::io::Cursor::new(bytes.clone()), plan))
+            },
+            "v",
+            &[0],
+            &[2],
+        )
+        .unwrap_err();
+        assert_eq!(attempts, RETRY_ATTEMPTS);
+        assert!(err.is_transient(), "final error keeps its classification: {err}");
+
+        // Non-transient failures are not retried at all.
+        let mut attempts = 0u32;
+        let err = read_slab_retrying(
+            || {
+                attempts += 1;
+                Ok(FaultyIo::new(
+                    std::io::Cursor::new(bytes.clone()),
+                    FaultPlan::new().persistent_from(0),
+                ))
+            },
+            "v",
+            &[0],
+            &[2],
+        )
+        .unwrap_err();
+        assert_eq!(attempts, 1);
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("injected persistent"), "context kept: {err}");
     }
 
     #[test]

@@ -16,12 +16,23 @@
 //!   `NETCDFINFO` (variable inventory);
 //! * [`synth`] — deterministic synthetic weather datasets standing in
 //!   for the paper's 1995 NYC observations (see DESIGN.md for the
-//!   substitution rationale).
+//!   substitution rationale);
+//! * [`io`] — the injectable byte-source abstraction ([`io::IoSource`])
+//!   plus the fault-injection wrapper ([`io::FaultyIo`]) and the
+//!   bounded retry loop ([`io::retry`]) the drivers use for transient
+//!   I/O errors.
+//!
+//! The parser is hardened against corrupt input: every declared
+//! count, length, and offset is validated against the actual source
+//! length before any allocation, all offset arithmetic is checked,
+//! and failures carry the byte offset at which the contradiction was
+//! found ([`NcError::Corrupt`]).
 
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod format;
+pub mod io;
 pub mod model;
 pub mod read;
 pub mod synth;

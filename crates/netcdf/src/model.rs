@@ -10,8 +10,25 @@ use crate::format::{pad4, NcType};
 pub enum NcError {
     /// The file is not classic NetCDF or is structurally invalid.
     Format(String),
-    /// An I/O failure (message of the underlying error).
-    Io(String),
+    /// The byte stream declares counts, lengths, or offsets that
+    /// contradict the actual source (truncated or corrupted data).
+    /// `offset` is the byte position at which the contradiction was
+    /// detected.
+    Corrupt {
+        /// Byte offset in the source where the corruption was detected.
+        offset: u64,
+        /// What the parser expected vs. what the source holds.
+        message: String,
+    },
+    /// An I/O failure (message of the underlying error). `transient`
+    /// marks failures worth retrying (timeouts, interrupted calls);
+    /// drivers retry those with backoff and give up on the rest.
+    Io {
+        /// Message of the underlying I/O error.
+        message: String,
+        /// Whether a retry may reasonably succeed.
+        transient: bool,
+    },
     /// A lookup failed (unknown variable or dimension).
     NotFound(String),
     /// A hyperslab request is out of bounds or malformed.
@@ -21,11 +38,34 @@ pub enum NcError {
     Model(String),
 }
 
+impl NcError {
+    /// A corruption error detected at byte `offset`.
+    pub fn corrupt(offset: u64, message: impl Into<String>) -> NcError {
+        NcError::Corrupt { offset, message: message.into() }
+    }
+
+    /// A non-transient I/O error.
+    pub fn io(message: impl Into<String>) -> NcError {
+        NcError::Io { message: message.into(), transient: false }
+    }
+
+    /// Would retrying the failed operation plausibly succeed?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NcError::Io { transient: true, .. })
+    }
+}
+
 impl fmt::Display for NcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NcError::Format(m) => write!(f, "netcdf format error: {m}"),
-            NcError::Io(m) => write!(f, "netcdf i/o error: {m}"),
+            NcError::Corrupt { offset, message } => {
+                write!(f, "netcdf corrupt data at byte {offset}: {message}")
+            }
+            NcError::Io { message, transient } => {
+                let kind = if *transient { "transient " } else { "" };
+                write!(f, "netcdf {kind}i/o error: {message}")
+            }
             NcError::NotFound(m) => write!(f, "netcdf: not found: {m}"),
             NcError::Slab(m) => write!(f, "netcdf hyperslab error: {m}"),
             NcError::Model(m) => write!(f, "netcdf model error: {m}"),
@@ -37,7 +77,12 @@ impl std::error::Error for NcError {}
 
 impl From<std::io::Error> for NcError {
     fn from(e: std::io::Error) -> Self {
-        NcError::Io(e.to_string())
+        use std::io::ErrorKind;
+        let transient = matches!(
+            e.kind(),
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock
+        );
+        NcError::Io { message: e.to_string(), transient }
     }
 }
 

@@ -6,13 +6,31 @@
 //! reading only the bytes that contribute to the result, which is
 //! exactly what the paper's `NETCDF3` reader does when it extracts a
 //! bounded region of a variable (§4.1–4.2).
+//!
+//! The parser treats its input as untrusted: every declared count,
+//! string length, and data offset is validated against the actual
+//! source length *before* any allocation, all offset arithmetic is
+//! checked, and contradictions surface as [`NcError::Corrupt`] with
+//! the byte offset at which they were detected. A corrupt header can
+//! therefore never trigger a panic or an allocation larger than the
+//! source itself.
 
 use std::fs::File;
 use std::io::{BufReader, Cursor, Read, Seek, SeekFrom};
 use std::path::Path;
 
 use crate::format::{NcType, MAGIC, NC_ATTRIBUTE, NC_DIMENSION, NC_VARIABLE, VERSION_64BIT, VERSION_CLASSIC};
+use crate::io::IoSource;
 use crate::model::{NcAttr, NcDim, NcError, NcFile, NcValues, NcVar};
+
+/// Conservative minimum encoded sizes (bytes) of one list entry, used
+/// to reject absurd declared counts before reserving memory: a
+/// dimension is at least a name length and a length word; an attribute
+/// adds a type and value count; a variable adds dimids, an attribute
+/// list header, type, vsize, and begin.
+const MIN_DIM_BYTES: u64 = 8;
+const MIN_ATTR_BYTES: u64 = 12;
+const MIN_VAR_BYTES: u64 = 28;
 
 /// Variable metadata with its on-disk layout.
 #[derive(Debug, Clone)]
@@ -98,15 +116,40 @@ impl Header {
 struct Cur<'a, R: Read + Seek> {
     r: &'a mut R,
     pos: u64,
+    /// Total source length; `pos <= len` is an invariant maintained by
+    /// [`Cur::bytes`], which refuses (without allocating) any read the
+    /// source cannot satisfy.
+    len: u64,
 }
 
 impl<'a, R: Read + Seek> Cur<'a, R> {
+    fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+
     fn bytes(&mut self, n: usize) -> Result<Vec<u8>, NcError> {
+        let end = self.pos.checked_add(n as u64).ok_or_else(|| {
+            NcError::corrupt(self.pos, format!("read of {n} byte(s) overflows the byte offset"))
+        })?;
+        if end > self.len {
+            return Err(NcError::corrupt(
+                self.pos,
+                format!(
+                    "header declares {n} more byte(s) but only {} remain (source is {} bytes)",
+                    self.remaining(),
+                    self.len
+                ),
+            ));
+        }
         let mut buf = vec![0u8; n];
-        self.r
-            .read_exact(&mut buf)
-            .map_err(|e| NcError::Format(format!("truncated header at byte {}: {e}", self.pos)))?;
-        self.pos += n as u64;
+        self.r.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                NcError::corrupt(self.pos, format!("unexpected end of data: {e}"))
+            } else {
+                NcError::from(e)
+            }
+        })?;
+        self.pos = end;
         Ok(buf)
     }
 
@@ -120,38 +163,70 @@ impl<'a, R: Read + Seek> Cur<'a, R> {
         Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
+    /// Read a list count and reject it if even minimally-sized entries
+    /// could not fit in the remaining bytes — this is what stops a
+    /// corrupt header from provoking a multi-gigabyte
+    /// `Vec::with_capacity`.
+    fn count(&mut self, what: &str, min_entry_bytes: u64) -> Result<usize, NcError> {
+        let at = self.pos;
+        let n = self.u32()? as u64;
+        if n.checked_mul(min_entry_bytes).is_none_or(|need| need > self.remaining()) {
+            return Err(NcError::corrupt(
+                at,
+                format!(
+                    "declared {n} {what} entr{} but only {} byte(s) remain",
+                    if n == 1 { "y" } else { "ies" },
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(n as usize)
+    }
+
     fn name(&mut self) -> Result<String, NcError> {
         let n = self.u32()? as usize;
         let raw = self.bytes(n)?;
         let padding = (4 - n % 4) % 4;
         self.bytes(padding)?;
-        String::from_utf8(raw).map_err(|_| NcError::Format("non-UTF-8 name".into()))
+        String::from_utf8(raw)
+            .map_err(|_| NcError::corrupt(self.pos, "non-UTF-8 name".to_string()))
     }
 
     fn values(&mut self, ty: NcType, n: usize) -> Result<NcValues, NcError> {
-        let byte_len = n as u64 * ty.size();
-        let raw = self.bytes(byte_len as usize)?;
-        let padding = ((4 - byte_len % 4) % 4) as usize;
+        let at = self.pos;
+        let byte_len = (n as u64).checked_mul(ty.size()).ok_or_else(|| {
+            NcError::corrupt(at, format!("value count {n} overflows the byte length"))
+        })?;
+        let byte_len = usize::try_from(byte_len).map_err(|_| {
+            NcError::corrupt(at, format!("value byte length {byte_len} exceeds address space"))
+        })?;
+        let raw = self.bytes(byte_len)?;
+        let padding = (4 - byte_len % 4) % 4;
         self.bytes(padding)?;
         Ok(decode(ty, &raw, n))
     }
 
     fn attr_list(&mut self) -> Result<Vec<NcAttr>, NcError> {
+        let tag_at = self.pos;
         let tag = self.u32()?;
-        let n = self.u32()? as usize;
+        let n = self.count("attribute", MIN_ATTR_BYTES)?;
         if tag == 0 && n == 0 {
             return Ok(Vec::new());
         }
         if tag != NC_ATTRIBUTE {
-            return Err(NcError::Format(format!("expected attribute tag, got {tag:#x}")));
+            return Err(NcError::corrupt(
+                tag_at,
+                format!("expected attribute tag, got {tag:#x}"),
+            ));
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let name = self.name()?;
+            let code_at = self.pos;
             let code = self.u32()?;
             let ty = NcType::from_code(code)
-                .ok_or_else(|| NcError::Format(format!("bad nc_type {code}")))?;
-            let count = self.u32()? as usize;
+                .ok_or_else(|| NcError::corrupt(code_at, format!("bad nc_type {code}")))?;
+            let count = self.count("attribute value", ty.size().max(1))?;
             let values = self.values(ty, count)?;
             out.push(NcAttr { name, values });
         }
@@ -195,10 +270,13 @@ pub fn decode(ty: NcType, raw: &[u8], n: usize) -> NcValues {
     }
 }
 
-/// Parse the header from the start of `r`.
+/// Parse the header from the start of `r`. The source length (learned
+/// by seeking) bounds every declared count and offset; see the module
+/// docs for the hardening contract.
 pub fn read_header<R: Read + Seek>(r: &mut R) -> Result<Header, NcError> {
+    let len = r.seek(SeekFrom::End(0))?;
     r.seek(SeekFrom::Start(0))?;
-    let mut c = Cur { r, pos: 0 };
+    let mut c = Cur { r, pos: 0, len };
     let magic = c.bytes(4)?;
     if &magic[0..3] != MAGIC {
         return Err(NcError::Format("not a NetCDF classic file (bad magic)".into()));
@@ -210,12 +288,13 @@ pub fn read_header<R: Read + Seek>(r: &mut R) -> Result<Header, NcError> {
     let numrecs = c.u32()?;
 
     // dim_list
+    let tag_at = c.pos;
     let tag = c.u32()?;
-    let ndims = c.u32()? as usize;
+    let ndims = c.count("dimension", MIN_DIM_BYTES)?;
     let mut dims = Vec::with_capacity(ndims);
     if !(tag == 0 && ndims == 0) {
         if tag != NC_DIMENSION {
-            return Err(NcError::Format(format!("expected dimension tag, got {tag:#x}")));
+            return Err(NcError::corrupt(tag_at, format!("expected dimension tag, got {tag:#x}")));
         }
         for _ in 0..ndims {
             let name = c.name()?;
@@ -227,26 +306,49 @@ pub fn read_header<R: Read + Seek>(r: &mut R) -> Result<Header, NcError> {
     let gattrs = c.attr_list()?;
 
     // var_list
+    let tag_at = c.pos;
     let tag = c.u32()?;
-    let nvars = c.u32()? as usize;
+    let nvars = c.count("variable", MIN_VAR_BYTES)?;
     let mut vars = Vec::with_capacity(nvars);
     if !(tag == 0 && nvars == 0) {
         if tag != NC_VARIABLE {
-            return Err(NcError::Format(format!("expected variable tag, got {tag:#x}")));
+            return Err(NcError::corrupt(tag_at, format!("expected variable tag, got {tag:#x}")));
         }
         for _ in 0..nvars {
             let name = c.name()?;
-            let nd = c.u32()? as usize;
+            let nd = c.count("dimension id", 4)?;
             let mut dimids = Vec::with_capacity(nd);
             for _ in 0..nd {
-                dimids.push(c.u32()? as usize);
+                let id_at = c.pos;
+                let id = c.u32()? as usize;
+                if id >= dims.len() {
+                    return Err(NcError::corrupt(
+                        id_at,
+                        format!(
+                            "variable `{name}` references dimension {id} but only {} are declared",
+                            dims.len()
+                        ),
+                    ));
+                }
+                dimids.push(id);
             }
             let attrs = c.attr_list()?;
+            let code_at = c.pos;
             let code = c.u32()?;
             let ty = NcType::from_code(code)
-                .ok_or_else(|| NcError::Format(format!("bad nc_type {code}")))?;
+                .ok_or_else(|| NcError::corrupt(code_at, format!("bad nc_type {code}")))?;
             let vsize = c.u32()? as u64;
+            let begin_at = c.pos;
             let begin = if version == VERSION_64BIT { c.u64()? } else { c.u32()? as u64 };
+            if begin > len {
+                return Err(NcError::corrupt(
+                    begin_at,
+                    format!(
+                        "variable `{name}` data offset {begin} is beyond the end of the \
+                         {len}-byte source"
+                    ),
+                ));
+            }
             vars.push(VarMeta { var: NcVar { name, dimids, attrs, ty }, vsize, begin });
         }
     }
@@ -257,25 +359,34 @@ pub fn read_header<R: Read + Seek>(r: &mut R) -> Result<Header, NcError> {
 /// A reader serving hyperslab requests against an open dataset.
 pub struct SlabReader<R: Read + Seek> {
     src: R,
+    /// Total source length, fixed at open time; every data read is
+    /// validated against it before any buffer grows.
+    src_len: u64,
     /// The parsed header.
     pub header: Header,
+}
+
+impl<R: IoSource> SlabReader<R> {
+    /// Open a dataset over any [`IoSource`] (file, buffer, or an
+    /// instrumented wrapper such as [`crate::io::FaultyIo`]).
+    pub fn from_source(mut src: R) -> Result<Self, NcError> {
+        let src_len = src.byte_len()?;
+        let header = read_header(&mut src)?;
+        Ok(SlabReader { src, src_len, header })
+    }
 }
 
 impl SlabReader<BufReader<File>> {
     /// Open a dataset file.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, NcError> {
-        let mut src = BufReader::new(File::open(path)?);
-        let header = read_header(&mut src)?;
-        Ok(SlabReader { src, header })
+        Self::from_source(BufReader::new(File::open(path)?))
     }
 }
 
 impl SlabReader<Cursor<Vec<u8>>> {
     /// Read a dataset from bytes.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, NcError> {
-        let mut src = Cursor::new(bytes);
-        let header = read_header(&mut src)?;
-        Ok(SlabReader { src, header })
+        Self::from_source(Cursor::new(bytes))
     }
 }
 
@@ -306,7 +417,12 @@ impl<R: Read + Seek> SlabReader<R> {
                 )));
             }
         }
-        let total: u64 = count.iter().product();
+        let total = count
+            .iter()
+            .try_fold(1u64, |acc, &c| acc.checked_mul(c))
+            .ok_or_else(|| {
+                NcError::Slab(format!("element count of `{name}` slab overflows: {count:?}"))
+            })?;
         if total == 0 {
             return Ok(NcValues::empty(meta.var.ty));
         }
@@ -315,42 +431,102 @@ impl<R: Read + Seek> SlabReader<R> {
         let is_rec = self.header.is_record_var(&meta.var);
         let rec_stride = self.header.record_stride();
 
+        // No slab can hold more bytes than the whole source: a header
+        // whose shape implies otherwise is corrupt, and rejecting it
+        // here bounds the upcoming allocation by the source length.
+        let total_bytes = total.checked_mul(tsize).ok_or_else(|| {
+            NcError::Slab(format!("byte size of `{name}` slab overflows ({total} elements)"))
+        })?;
+        if total_bytes > self.src_len {
+            return Err(NcError::corrupt(
+                meta.begin,
+                format!(
+                    "variable `{name}` slab needs {total_bytes} byte(s) but the source \
+                     holds only {}",
+                    self.src_len
+                ),
+            ));
+        }
+        let total_bytes = usize::try_from(total_bytes).map_err(|_| {
+            NcError::Slab(format!("byte size of `{name}` slab exceeds address space"))
+        })?;
+
         // Row-major element strides within the variable. For record
         // variables the outermost "stride" is the record stride in
         // *bytes*, handled separately.
         let inner_shape = if is_rec { &shape[1..] } else { &shape[..] };
         let mut elem_strides = vec![1u64; inner_shape.len()];
         for j in (0..inner_shape.len().saturating_sub(1)).rev() {
-            elem_strides[j] = elem_strides[j + 1] * inner_shape[j + 1];
+            elem_strides[j] = elem_strides[j + 1].checked_mul(inner_shape[j + 1]).ok_or_else(
+                || {
+                    NcError::corrupt(
+                        meta.begin,
+                        format!("variable `{name}` shape {shape:?} overflows its byte layout"),
+                    )
+                },
+            )?;
         }
+
+        // Checked `acc + i * s`, reported as header corruption (the
+        // only way it can overflow is an absurd declared layout).
+        let layout_err = || {
+            NcError::corrupt(
+                meta.begin,
+                format!("variable `{name}` byte offsets overflow (shape {shape:?})"),
+            )
+        };
+        let acc_mul = |acc: u64, i: u64, s: u64| -> Result<u64, NcError> {
+            i.checked_mul(s).and_then(|x| acc.checked_add(x)).ok_or_else(layout_err)
+        };
 
         // Iterate all index combinations except the last dimension,
         // reading a contiguous run of `count[k-1]` values each time.
         let run = count[k - 1];
-        let mut raw = Vec::with_capacity((total * tsize) as usize);
+        let mut raw = Vec::with_capacity(total_bytes);
         let mut idx = start.to_vec();
         loop {
             // Byte offset of the run starting at `idx`.
             let mut off = meta.begin;
             if is_rec {
-                off += idx[0] * rec_stride;
+                off = acc_mul(off, idx[0], rec_stride)?;
                 for (j, &i) in idx.iter().enumerate().skip(1) {
-                    off += i * elem_strides[j - 1] * tsize;
+                    off = acc_mul(off, i, elem_strides[j - 1].checked_mul(tsize).ok_or_else(layout_err)?)?;
                 }
             } else {
                 for (j, &i) in idx.iter().enumerate() {
-                    off += i * elem_strides[j] * tsize;
+                    off = acc_mul(off, i, elem_strides[j].checked_mul(tsize).ok_or_else(layout_err)?)?;
                 }
             }
             // A 1-d record variable reads one value per record.
             let this_run = if is_rec && k == 1 { 1 } else { run };
             let byte_len = (this_run * tsize) as usize;
+            let run_end = off.checked_add(byte_len as u64).ok_or_else(layout_err)?;
+            if run_end > self.src_len {
+                return Err(NcError::corrupt(
+                    off,
+                    format!(
+                        "data for `{name}` extends to byte {run_end} but the source holds \
+                         only {} byte(s)",
+                        self.src_len
+                    ),
+                ));
+            }
             let at = raw.len();
             raw.resize(at + byte_len, 0);
             self.src.seek(SeekFrom::Start(off))?;
-            self.src
-                .read_exact(&mut raw[at..])
-                .map_err(|e| NcError::Io(format!("reading `{name}` at {off}: {e}")))?;
+            self.src.read_exact(&mut raw[at..]).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    NcError::corrupt(off, format!("unexpected end of data reading `{name}`: {e}"))
+                } else {
+                    match NcError::from(e) {
+                        NcError::Io { message, transient } => NcError::Io {
+                            message: format!("reading `{name}` at byte {off}: {message}"),
+                            transient,
+                        },
+                        other => other,
+                    }
+                }
+            })?;
 
             // Advance the multi-index (skipping the run dimension,
             // except for 1-d record variables which step per record).
@@ -537,8 +713,9 @@ mod tests {
     fn bad_magic_rejected() {
         let err = from_bytes_full(b"HDF5xxxx".to_vec()).unwrap_err();
         assert!(matches!(err, NcError::Format(_)));
+        // A source shorter than the magic is truncation, not format.
         let err = from_bytes_full(b"CD".to_vec()).unwrap_err();
-        assert!(matches!(err, NcError::Format(_)));
+        assert!(matches!(err, NcError::Corrupt { offset: 0, .. }));
     }
 
     #[test]

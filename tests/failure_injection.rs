@@ -103,7 +103,7 @@ fn externals_see_bottom_as_bottom() {
 #[test]
 fn resource_exhaustion_is_clean() {
     let mut s = Session::new();
-    s.limits = Limits { max_elems: 1_000, max_steps: 1_000_000 };
+    s.limits = Limits { max_elems: 1_000, max_steps: 1_000_000, ..Limits::default() };
     // Oversized tabulation.
     let err = s.eval_query("[[ i | \\i < 100000 ]]").unwrap_err();
     assert!(matches!(
@@ -117,7 +117,7 @@ fn resource_exhaustion_is_clean() {
         LangError::Eval(EvalError::ResourceLimit { .. })
     ));
     // Step exhaustion.
-    s.limits = Limits { max_elems: 1 << 20, max_steps: 100 };
+    s.limits = Limits { max_elems: 1 << 20, max_steps: 100, ..Limits::default() };
     let err = s
         .eval_query("summap(fn \\x => x)!(gen!1000)")
         .unwrap_err();
@@ -168,6 +168,161 @@ fn hostile_optimizer_rule_is_contained() {
     // nat, so the answer is even still right.
     let (_, v) = s.eval_query("20 + 22").unwrap();
     assert_eq!(v, Value::Nat(42));
+}
+
+/// A reader that panics instead of returning an error.
+struct PanickyReader;
+impl Reader for PanickyReader {
+    fn read(&self, _arg: &Value) -> Result<(Value, Option<Type>), LangError> {
+        panic!("reader exploded mid-read")
+    }
+}
+
+/// A writer that panics instead of returning an error.
+struct PanickyWriter;
+impl Writer for PanickyWriter {
+    fn write(&self, _arg: &Value, _data: &Value) -> Result<(), LangError> {
+        panic!("writer exploded mid-write")
+    }
+}
+
+#[test]
+fn panicking_reader_is_contained_and_named() {
+    let mut s = Session::new();
+    s.register_reader("KABOOM", Rc::new(PanickyReader));
+    let err = s.run("readval \\x using KABOOM at 0;").unwrap_err();
+    match &err {
+        LangError::ExtensionPanic { kind, name, message } => {
+            assert_eq!(*kind, "reader");
+            assert_eq!(name, "KABOOM");
+            assert!(message.contains("exploded mid-read"), "{message}");
+        }
+        other => panic!("expected ExtensionPanic, got {other:?}"),
+    }
+    assert!(err.to_string().contains("KABOOM"), "{err}");
+    // Nothing was bound; the session still answers.
+    assert!(s.eval_query("x").is_err());
+    let (_, v) = s.eval_query("1 + 1").unwrap();
+    assert_eq!(v, Value::Nat(2));
+}
+
+#[test]
+fn panicking_writer_is_contained_and_named() {
+    let mut s = Session::new();
+    s.register_writer("KABOOM", Rc::new(PanickyWriter));
+    let err = s.run("writeval {1} using KABOOM at 0;").unwrap_err();
+    match &err {
+        LangError::ExtensionPanic { kind, name, message } => {
+            assert_eq!(*kind, "writer");
+            assert_eq!(name, "KABOOM");
+            assert!(message.contains("exploded mid-write"), "{message}");
+        }
+        other => panic!("expected ExtensionPanic, got {other:?}"),
+    }
+    let (_, v) = s.eval_query("2 * 3").unwrap();
+    assert_eq!(v, Value::Nat(6));
+}
+
+#[test]
+fn panicking_external_is_contained_and_named() {
+    let mut s = Session::new();
+    s.register_external(NativeFn::new(
+        "crashy",
+        Type::fun(Type::Nat, Type::Nat),
+        |_| panic!("host bug"),
+    ));
+    let err = s.eval_query("crashy!1").unwrap_err();
+    match &err {
+        LangError::Eval(EvalError::External { name, message }) => {
+            assert_eq!(name, "crashy");
+            assert!(message.contains("panicked") && message.contains("host bug"), "{message}");
+        }
+        other => panic!("expected External, got {other:?}"),
+    }
+    // The session is still usable, including the panicky primitive's
+    // short-circuit path.
+    let (_, v) = s.eval_query("10 - 3").unwrap();
+    assert_eq!(v, Value::Nat(7));
+}
+
+#[test]
+fn panicking_optimizer_rule_is_contained_and_named() {
+    use aql::opt::{Phase, Rule};
+    use aql_core::expr::Expr;
+
+    /// A rule that panics whenever it sees arithmetic.
+    struct Grenade;
+    impl Rule for Grenade {
+        fn name(&self) -> &'static str {
+            "grenade"
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            match e {
+                Expr::Arith(..) => panic!("rule exploded"),
+                _ => None,
+            }
+        }
+    }
+
+    let mut s = Session::new();
+    s.run("val \\n = 20;").unwrap();
+    let mut phase = Phase::new("booby-trapped");
+    phase.add_rule(Rc::new(Grenade));
+    s.optimizer_mut().add_phase(phase);
+    // A global operand keeps the addition from constant-folding away
+    // before the booby-trapped phase runs.
+    let err = s.eval_query("n + 22").unwrap_err();
+    match &err {
+        LangError::ExtensionPanic { kind, name, message } => {
+            assert_eq!(*kind, "optimizer rule");
+            assert_eq!(name, "grenade");
+            assert!(message.contains("rule exploded"), "{message}");
+            assert!(message.contains("booby-trapped"), "{message}");
+        }
+        other => panic!("expected ExtensionPanic, got {other:?}"),
+    }
+    // Queries the rule leaves alone still work.
+    let (_, v) = s.eval_query("{1, 2, 3}").unwrap();
+    assert_eq!(v.as_set().unwrap().len(), 3);
+    // And `explain` (the traced path) is contained too.
+    assert!(matches!(
+        s.explain("n + 1").unwrap_err(),
+        LangError::ExtensionPanic { .. }
+    ));
+}
+
+#[test]
+fn deadline_exceeded_leaves_session_usable() {
+    use std::time::Duration;
+    let mut s = Session::new();
+    s.limits = Limits { timeout: Some(Duration::ZERO), ..Limits::default() };
+    let err = s
+        .eval_query("summap(fn \\x => x)!(gen!100000)")
+        .unwrap_err();
+    assert!(matches!(err, LangError::Eval(EvalError::Deadline)), "{err:?}");
+    // Restore the limits: the session evaluates again.
+    s.limits = Limits::default();
+    let (_, v) = s.eval_query("summap(fn \\x => x)!(gen!10)").unwrap();
+    assert_eq!(v, Value::Nat(45));
+}
+
+#[test]
+fn cancellation_flag_stops_query() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let mut s = Session::new();
+    let flag = Arc::new(AtomicBool::new(false));
+    s.limits = Limits { cancel: Some(flag.clone()), ..Limits::default() };
+    // Flag clear: evaluation proceeds.
+    let (_, v) = s.eval_query("1 + 1").unwrap();
+    assert_eq!(v, Value::Nat(2));
+    // Flag set (as a watchdog thread would): evaluation stops.
+    flag.store(true, Ordering::Relaxed);
+    let err = s.eval_query("summap(fn \\x => x)!(gen!100000)").unwrap_err();
+    assert!(matches!(err, LangError::Eval(EvalError::Cancelled)), "{err:?}");
+    flag.store(false, Ordering::Relaxed);
+    let (_, v) = s.eval_query("2 + 2").unwrap();
+    assert_eq!(v, Value::Nat(4));
 }
 
 #[test]

@@ -154,6 +154,36 @@ proptest! {
     }
 }
 
+/// Pinned reproduction of the checked-in proptest regression
+/// (`tests/netcdf_roundtrip.proptest-regressions`): a single 1-d Byte
+/// record variable, numrecs = 2, hyperslab start=[1] count=[1]. The
+/// derived start/count below match what the recorded fractions
+/// (0.5878…, 0.5201…) produce for shape [2].
+#[test]
+fn regression_record_byte_hyperslab() {
+    let spec = Spec {
+        dims: vec![1, 1],
+        vars: vec![(NcType::Byte, vec![0, 0])],
+        record: true,
+        numrecs: 2,
+    };
+    let f = build(&spec);
+    let var = &f.vars[0];
+    let shape = f.var_shape(var).expect("shape");
+    assert_eq!(shape, vec![2]);
+
+    for version in [VERSION_CLASSIC, VERSION_64BIT] {
+        let bytes = to_bytes(&f, version).expect("serialize");
+        let back = from_bytes_full(bytes.clone()).expect("parse");
+        assert_eq!(&back.data[0], &f.data[0], "full read, version {version}");
+
+        let mut r = SlabReader::from_bytes(bytes).expect("open");
+        let slab = r.read_slab(&var.name, &[1], &[1]).expect("slab");
+        let expect = slice_reference(&f.data[0], &shape, &[1], &[1]);
+        assert_eq!(slab, expect, "hyperslab, version {version}");
+    }
+}
+
 /// Reference row-major slicing of in-memory values.
 fn slice_reference(data: &NcValues, shape: &[u64], start: &[u64], count: &[u64]) -> NcValues {
     let k = shape.len();

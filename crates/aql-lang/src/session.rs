@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use aql_core::check::typecheck;
 use aql_core::error::EvalError;
-use aql_core::eval::{eval, EvalCtx, Limits};
+use aql_core::eval::{eval, EvalCtx, EvalStats, Limits};
 use aql_core::expr::{name, Expr, Name};
 use aql_core::prim::{Extensions, NativeFn};
 use aql_core::types::Type;
@@ -167,6 +167,9 @@ pub struct Session {
     pub optimize: bool,
     /// Truncation width for session echoes of large values.
     pub display_limit: usize,
+    /// Statistics of the most recent evaluation (steps + chunk-cache
+    /// counters of lazy arrays it touched).
+    last_stats: std::cell::Cell<EvalStats>,
 }
 
 impl Session {
@@ -196,7 +199,15 @@ impl Session {
             limits: Limits::default(),
             optimize: true,
             display_limit: aql_core::value::print::SESSION_TRUNCATE,
+            last_stats: std::cell::Cell::new(EvalStats::default()),
         }
+    }
+
+    /// Statistics of the most recent query evaluated through this
+    /// session: steps plus the chunk-cache hit/miss/bytes-read
+    /// counters attributable to it. Zeroes before the first query.
+    pub fn last_stats(&self) -> EvalStats {
+        self.last_stats.get()
     }
 
     // ---- openness: registration (§4.1) ---------------------------------
@@ -407,7 +418,9 @@ impl Session {
             resolved
         };
         let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits.clone());
-        let v = eval(&optimized, &ctx).map_err(LangError::Eval)?;
+        let v = eval(&optimized, &ctx);
+        self.last_stats.set(ctx.stats());
+        let v = v.map_err(LangError::Eval)?;
         Ok((ty, v))
     }
 
@@ -683,7 +696,7 @@ mod tests {
             |v| {
                 let a = v.as_array()?;
                 let mut sum = 0.0;
-                for x in a.data() {
+                for x in a.data().iter() {
                     sum += x.as_real()?;
                 }
                 Ok(Value::Real(sum / a.len().max(1) as f64))

@@ -1,0 +1,162 @@
+//! Eager vs. lazy storage micro-benchmark over a synthetic weather
+//! file (the `temp(time, lat, lon)` = 8760 × 5 × 5 variable).
+//!
+//! Two access patterns — a single point probe and a contiguous subslab
+//! scan — each measured end-to-end (`readval` binding + query) under
+//! the eager driver and under the lazy driver at two cache budgets.
+//! Emits `BENCH_store.json` with wall time, bytes read off disk, and
+//! cache hit rate for each configuration.
+//!
+//! `cargo run -p aql-bench --release --bin store_bench`
+
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+use aql_lang::session::Session;
+use aql_netcdf::driver::NetcdfSlabReader;
+use aql_netcdf::format::VERSION_CLASSIC;
+use aql_netcdf::synth::year_temp_file;
+use aql_netcdf::write::write_file;
+
+/// Bytes of the full `temp` variable — what eager materialization
+/// pulls off disk no matter how little of the binding a query touches.
+const FULL_BYTES: u64 = 8760 * 5 * 5 * 8;
+
+struct Config {
+    name: &'static str,
+    reader: fn() -> NetcdfSlabReader,
+}
+
+struct Row {
+    config: &'static str,
+    pattern: &'static str,
+    micros: u128,
+    bytes_read: u64,
+    hit_rate: Option<f64>,
+}
+
+fn reader_eager() -> NetcdfSlabReader {
+    NetcdfSlabReader::eager(3)
+}
+
+fn reader_lazy_4m() -> NetcdfSlabReader {
+    let mut r = NetcdfSlabReader::lazy(3);
+    r.cache_budget = 4 << 20;
+    r
+}
+
+fn reader_lazy_64k() -> NetcdfSlabReader {
+    let mut r = NetcdfSlabReader::lazy(3);
+    r.cache_budget = 64 << 10;
+    r
+}
+
+/// Bind the whole variable with `reader` and run `query`; return
+/// (wall-micros, bytes-read, hit-rate) for the end-to-end session.
+fn measure(path: &str, reader: &Config, pattern: &'static str, query: &str) -> Row {
+    let before = aql_store::stats::global();
+    let t0 = Instant::now();
+
+    let mut s = Session::new();
+    s.register_reader("NC", Rc::new((reader.reader)()));
+    s.run(&format!(
+        "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+    ))
+    .expect("bind");
+    let (_, v) = s.eval_query(query).expect("query");
+    assert!(!v.is_bottom(), "{}/{pattern}: query produced ⊥", reader.name);
+
+    let micros = t0.elapsed().as_micros();
+    let delta = aql_store::stats::global().delta_since(&before);
+    // The eager driver bypasses the chunk cache entirely: its disk
+    // traffic is one full materialization of the bound slab.
+    let bytes_read =
+        if reader.name == "eager" { FULL_BYTES } else { delta.bytes_read };
+    Row { config: reader.name, pattern, micros, bytes_read, hit_rate: delta.hit_rate() }
+}
+
+fn json_escape_free(rows: &[Row]) -> String {
+    // All emitted strings are static identifiers — no escaping needed.
+    let mut out = String::from("{\n  \"bench\": \"store\",\n  \"full_variable_bytes\": ");
+    let _ = write!(out, "{FULL_BYTES},\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let hr = match r.hit_rate {
+            Some(h) => format!("{h:.4}"),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"config\": \"{}\", \"pattern\": \"{}\", \"wall_us\": {}, \
+             \"bytes_read\": {}, \"hit_rate\": {}}}{}\n",
+            r.config,
+            r.pattern,
+            r.micros,
+            r.bytes_read,
+            hr,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("aql-store-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("temp.nc");
+    write_file(&year_temp_file().expect("synth"), &path, VERSION_CLASSIC).expect("write");
+    let path = path.to_str().expect("utf-8 path").to_string();
+
+    let configs = [
+        Config { name: "eager", reader: reader_eager },
+        Config { name: "lazy-4MiB", reader: reader_lazy_4m },
+        Config { name: "lazy-64KiB", reader: reader_lazy_64k },
+    ];
+    // Equal coverage for every config: the same bound slab, the same
+    // query. The point probe touches one element; the subslab scan
+    // tabulates a 200-hour window of the full grid.
+    let patterns: [(&str, &str); 2] = [
+        ("point-probe", "T[5000, 2, 2]"),
+        // An aggregate over a 200-hour window: unlike a tabulation
+        // followed by a subscript (which the δ-rule fuses down to a
+        // point access), the set comprehension really visits all
+        // 200 × 5 × 5 elements.
+        ("subslab-scan", "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }"),
+    ];
+
+    let mut rows = Vec::new();
+    for (pattern, query) in patterns {
+        for c in &configs {
+            // One warm-up pass (file-cache effects), one measured pass.
+            let _ = measure(&path, c, pattern, query);
+            rows.push(measure(&path, c, pattern, query));
+        }
+    }
+
+    println!("store bench — full variable is {FULL_BYTES} bytes\n");
+    println!("{:<14} {:<14} {:>10} {:>12} {:>9}", "config", "pattern", "wall µs", "bytes read", "hit rate");
+    for r in &rows {
+        let hr = r.hit_rate.map_or("-".to_string(), |h| format!("{:.1}%", h * 100.0));
+        println!(
+            "{:<14} {:<14} {:>10} {:>12} {:>9}",
+            r.config, r.pattern, r.micros, r.bytes_read, hr
+        );
+    }
+
+    // The lazy drivers must move fewer bytes than eager at equal
+    // coverage, on both patterns and at both budgets.
+    for r in &rows {
+        if r.config != "eager" {
+            assert!(
+                r.bytes_read < FULL_BYTES,
+                "{}/{}: read {} bytes, eager reads {FULL_BYTES}",
+                r.config, r.pattern, r.bytes_read
+            );
+        }
+    }
+
+    std::fs::write("BENCH_store.json", json_escape_free(&rows)).expect("BENCH_store.json");
+    println!("\nwrote BENCH_store.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

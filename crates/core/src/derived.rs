@@ -630,7 +630,7 @@ mod tests {
         assert_eq!(a.dims(), &[2]);
         assert_eq!(
             a.get(&[1]).unwrap(),
-            &Value::tuple(vec![Value::Nat(2), Value::Nat(20)])
+            Value::tuple(vec![Value::Nat(2), Value::Nat(20)])
         );
     }
 
@@ -640,7 +640,7 @@ mod tests {
         let v = run(&e);
         assert_eq!(
             v.as_array().unwrap().get(&[0]).unwrap(),
-            &Value::tuple(vec![Value::Nat(1), Value::Nat(3), Value::Nat(5)])
+            Value::tuple(vec![Value::Nat(1), Value::Nat(3), Value::Nat(5)])
         );
     }
 

@@ -94,6 +94,16 @@ pub enum EvalError {
     /// A value of the wrong shape reached an operation; this indicates
     /// an ill-typed term was evaluated (e.g. optimizer bug).
     IllTyped(String),
+    /// A lazily chunked array failed to load elements from its backing
+    /// store (I/O failure or corrupt chunk data). `transient` carries
+    /// the storage layer's retry classification.
+    Storage { message: String, transient: bool },
+    /// An internal invariant of the evaluator was violated (e.g. a
+    /// compiled de-Bruijn index outran the environment). Always a bug
+    /// in compilation or optimization, never a user error — but
+    /// reported as an error rather than a panic so a session survives
+    /// it.
+    Internal(String),
 }
 
 impl fmt::Display for EvalError {
@@ -112,11 +122,33 @@ impl fmt::Display for EvalError {
                 write!(f, "external primitive `{name}` failed: {message}")
             }
             EvalError::IllTyped(m) => write!(f, "ill-typed value at runtime: {m}"),
+            EvalError::Storage { message, transient } => write!(
+                f,
+                "array storage failure{}: {message}",
+                if *transient { " (transient)" } else { "" }
+            ),
+            EvalError::Internal(m) => write!(f, "internal evaluator error: {m}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<aql_store::StoreError> for EvalError {
+    fn from(e: aql_store::StoreError) -> EvalError {
+        match e {
+            aql_store::StoreError::Io { message, transient } => {
+                EvalError::Storage { message, transient }
+            }
+            aql_store::StoreError::Corrupt(m) => {
+                EvalError::Storage { message: format!("corrupt chunk: {m}"), transient: false }
+            }
+            // Shape errors indicate the layout and the access disagree
+            // — a bug in the binding code, not a user-visible failure.
+            aql_store::StoreError::Shape(m) => EvalError::Internal(format!("storage shape: {m}")),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -53,13 +53,17 @@ impl Env {
         Env(Some(Rc::new(EnvNode { val, next: self.clone() })))
     }
 
-    /// Look up de-Bruijn index `i`.
-    fn get(&self, i: usize) -> &Value {
-        let mut node = self.0.as_deref().expect("de-Bruijn index out of range");
+    /// Look up de-Bruijn index `i`. An out-of-range index means the
+    /// compiler produced a variable the environment cannot supply —
+    /// reported as [`EvalError::Internal`] rather than a panic so a
+    /// session survives a miscompiled term.
+    fn get(&self, i: usize) -> Result<&Value, EvalError> {
+        let oor = || EvalError::Internal(format!("de-Bruijn index {i} out of range"));
+        let mut node = self.0.as_deref().ok_or_else(oor)?;
         for _ in 0..i {
-            node = node.next.0.as_deref().expect("de-Bruijn index out of range");
+            node = node.next.0.as_deref().ok_or_else(oor)?;
         }
-        &node.val
+        Ok(&node.val)
     }
 
     fn depth(&self) -> usize {
@@ -97,7 +101,7 @@ impl std::fmt::Debug for Closure {
 /// Besides the element/step budgets, a limit set can carry a
 /// *cooperative* wall-clock deadline and a cancellation flag. Both are
 /// checked on the existing step-count path (every
-/// [`INTERRUPT_CHECK_MASK`]+1 steps), so a runaway query is stopped
+/// `INTERRUPT_CHECK_MASK`+1 steps), so a runaway query is stopped
 /// without any signal handling — and a blocked *host* call is, by
 /// design, not interrupted (the contract is cooperative).
 #[derive(Debug, Clone)]
@@ -132,6 +136,21 @@ impl Limits {
     }
 }
 
+/// Aggregate statistics for one evaluation: steps consumed plus the
+/// chunk-cache activity of any lazy arrays the query touched.
+///
+/// The cache counters are a *delta* over `aql-store`'s thread-local
+/// aggregate, captured between context construction and the
+/// [`EvalCtx::stats`] call — so they attribute exactly the I/O this
+/// evaluation caused (the runtime is single-threaded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Evaluation steps (AST node visits).
+    pub steps: u64,
+    /// Chunk-cache counters attributable to this evaluation.
+    pub cache: aql_store::CacheStats,
+}
+
 /// Evaluation context: session `val` bindings, external primitives,
 /// and resource limits.
 pub struct EvalCtx<'a> {
@@ -144,6 +163,9 @@ pub struct EvalCtx<'a> {
     /// Absolute deadline derived from `limits.timeout` at construction.
     deadline: Option<std::time::Instant>,
     steps: Cell<u64>,
+    /// Snapshot of the global chunk-cache counters at construction;
+    /// [`EvalCtx::stats`] reports the delta since.
+    cache_base: aql_store::CacheStats,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -155,6 +177,7 @@ impl<'a> EvalCtx<'a> {
             limits: Limits::default(),
             deadline: None,
             steps: Cell::new(0),
+            cache_base: aql_store::stats::global(),
         }
     }
 
@@ -171,8 +194,17 @@ impl<'a> EvalCtx<'a> {
         self.steps.get()
     }
 
+    /// Statistics for the evaluation driven through this context:
+    /// steps plus the chunk-cache activity since construction.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            steps: self.steps.get(),
+            cache: aql_store::stats::global().delta_since(&self.cache_base),
+        }
+    }
+
     /// Check the cooperative deadline and cancellation flag. Called
-    /// periodically from [`EvalCtx::tick`]; callers doing long host-side
+    /// periodically from `EvalCtx::tick`; callers doing long host-side
     /// work may also call it directly.
     pub fn check_interrupts(&self) -> Result<(), EvalError> {
         if let Some(d) = self.deadline {
@@ -238,7 +270,7 @@ macro_rules! strict {
 pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalError> {
     ctx.tick()?;
     match c {
-        CExpr::Var(i) => Ok(env.get(*i).clone()),
+        CExpr::Var(i) => Ok(env.get(*i)?.clone()),
         CExpr::Global(n) => ctx
             .globals
             .get(n)
@@ -497,8 +529,9 @@ pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalE
                     a.rank()
                 )));
             }
-            // Out of bounds is the *error value*, not a host error (§2).
-            Ok(a.get(&indices).cloned().unwrap_or(Value::Bottom))
+            // Out of bounds is the *error value*, not a host error (§2);
+            // a *storage* failure on a lazy array is a host error.
+            Ok(a.try_get(&indices)?.unwrap_or(Value::Bottom))
         }
         CExpr::Dim(k, e) => {
             let v = strict!(eval_compiled(e, env, ctx)?);
@@ -868,7 +901,8 @@ mod tests {
         let a = v.as_array().unwrap();
         assert_eq!(a.dims(), &[4]);
         assert_eq!(a.get(&[0]).unwrap().as_set().unwrap().len(), 0);
-        let g1 = a.get(&[1]).unwrap().as_set().unwrap();
+        let g1v = a.get(&[1]).unwrap();
+        let g1 = g1v.as_set().unwrap();
         assert_eq!(g1.len(), 2);
         assert!(g1.contains(&Value::str("a")));
         assert!(g1.contains(&Value::str("c")));

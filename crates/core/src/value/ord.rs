@@ -61,10 +61,17 @@ pub fn canonical_cmp(a: &Value, b: &Value) -> Ordering {
             }
             x.distinct_len().cmp(&y.distinct_len())
         }
-        (Value::Array(x), Value::Array(y)) => x
-            .dims()
-            .cmp(y.dims())
-            .then_with(|| cmp_slices(x.data(), y.data())),
+        (Value::Array(x), Value::Array(y)) => x.dims().cmp(y.dims()).then_with(|| {
+            // Elementwise to avoid materializing typed/lazy stores;
+            // equal dims imply equal lengths.
+            for o in 0..x.len().min(y.len()) {
+                match canonical_cmp(&x.value_at(o), &y.value_at(o)) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            x.len().cmp(&y.len())
+        }),
         (Value::Closure(_) | Value::Native(_), _) | (_, Value::Closure(_) | Value::Native(_)) => {
             panic!("canonical_cmp: function values are not comparable (typechecker invariant)")
         }

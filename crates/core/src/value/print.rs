@@ -154,7 +154,7 @@ fn session_fmt(v: &Value, limit: usize, out: &mut String) {
                     let _ = write!(out, "{c}");
                 }
                 out.push_str("):");
-                session_fmt(item, limit, out);
+                session_fmt(&item, limit, out);
             }
             out.push_str("]]");
         }

@@ -1,0 +1,158 @@
+//! A NetCDF-backed [`ChunkSource`]: cache misses become hyperslab
+//! reads.
+//!
+//! An [`NcChunkSource`] binds one variable of one dataset and serves
+//! `aql-store` chunk requests through the existing
+//! [`read_slab_retrying`] path: a
+//! fresh source is opened per attempt, transient I/O errors are
+//! retried with bounded backoff, and the resulting typed values are
+//! widened to `f64` (the drivers' "numeric external types widen to
+//! `real`" policy). The source carries a *base offset* so a lazy
+//! array over a subslab `(lo, hi)` addresses its chunks in subslab
+//! coordinates while the file is read in absolute coordinates.
+
+use std::marker::PhantomData;
+
+use aql_store::{ChunkSource, ScalarBuf, StoreError};
+
+use crate::driver::read_slab_retrying;
+use crate::io::IoSource;
+use crate::model::{NcError, NcValues};
+
+/// Translate a NetCDF substrate error into a storage error, keeping
+/// the transient/corrupt classification.
+pub fn nc_to_store(e: NcError) -> StoreError {
+    match e {
+        NcError::Io { message, transient } => StoreError::Io { message, transient },
+        NcError::Corrupt { offset, message } => {
+            StoreError::Corrupt(format!("at byte {offset}: {message}"))
+        }
+        // Lookup/bounds/format failures mean the binding and the file
+        // disagree — surfaced as shape errors.
+        other => StoreError::Shape(other.to_string()),
+    }
+}
+
+/// Convert a slab of typed external values to a flat `f64` buffer.
+fn values_to_buf(vals: &NcValues) -> Result<ScalarBuf, StoreError> {
+    let mut out = Vec::with_capacity(vals.len());
+    for i in 0..vals.len() {
+        let x = vals.get_f64(i).ok_or_else(|| {
+            StoreError::Corrupt("NC_CHAR variables cannot be read as real arrays".into())
+        })?;
+        out.push(x);
+    }
+    Ok(ScalarBuf::F64(out))
+}
+
+/// A chunk source reading one NetCDF variable through an
+/// open-per-attempt factory (so retries never see partial reader
+/// state).
+pub struct NcChunkSource<S, F> {
+    open: F,
+    var: String,
+    base: Vec<u64>,
+    _source: PhantomData<fn() -> S>,
+}
+
+impl<S, F> NcChunkSource<S, F>
+where
+    S: IoSource,
+    F: FnMut() -> Result<S, NcError>,
+{
+    /// A source for variable `var`, with chunk coordinates offset by
+    /// `base` (the lower bound of the bound subslab).
+    pub fn new(open: F, var: impl Into<String>, base: Vec<u64>) -> NcChunkSource<S, F> {
+        NcChunkSource { open, var: var.into(), base, _source: PhantomData }
+    }
+}
+
+impl<S, F> ChunkSource for NcChunkSource<S, F>
+where
+    S: IoSource,
+    F: FnMut() -> Result<S, NcError>,
+{
+    fn read_chunk(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError> {
+        if start.len() != self.base.len() {
+            return Err(StoreError::Shape(format!(
+                "chunk rank {} does not match variable rank {}",
+                start.len(),
+                self.base.len()
+            )));
+        }
+        let abs: Vec<u64> = start.iter().zip(&self.base).map(|(&s, &b)| s + b).collect();
+        let vals = read_slab_retrying(&mut self.open, &self.var, &abs, count)
+            .map_err(nc_to_store)?;
+        values_to_buf(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{NcType, VERSION_CLASSIC};
+    use crate::io::{FaultPlan, FaultyIo};
+    use crate::model::NcFile;
+    use crate::write::to_bytes;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut f = NcFile::new();
+        let t = f.add_dim("t", 3);
+        let x = f.add_dim("x", 4);
+        f.add_var(
+            "v",
+            vec![t, x],
+            NcType::Int,
+            vec![],
+            NcValues::Int((0..12).collect()),
+        )
+        .unwrap();
+        to_bytes(&f, VERSION_CLASSIC).unwrap()
+    }
+
+    #[test]
+    fn chunks_read_in_base_offset_coordinates() {
+        let bytes = sample_bytes();
+        // Bind the subslab with lower bound (1, 1): chunk coordinate
+        // (0, 0) must read absolute element (1, 1) = 5.
+        let mut src = NcChunkSource::new(
+            move || Ok(std::io::Cursor::new(bytes.clone())),
+            "v",
+            vec![1, 1],
+        );
+        let buf = src.read_chunk(&[0, 0], &[2, 2]).unwrap();
+        assert_eq!(buf, ScalarBuf::F64(vec![5.0, 6.0, 9.0, 10.0]));
+    }
+
+    #[test]
+    fn transient_faults_retry_per_chunk() {
+        let bytes = sample_bytes();
+        let mut attempts = 0u32;
+        let mut src = NcChunkSource::new(
+            move || {
+                attempts += 1;
+                let plan = if attempts == 1 {
+                    FaultPlan::new().transient_at(0)
+                } else {
+                    FaultPlan::new()
+                };
+                Ok(FaultyIo::new(std::io::Cursor::new(bytes.clone()), plan))
+            },
+            "v",
+            vec![0, 0],
+        );
+        let buf = src.read_chunk(&[2, 0], &[1, 4]).unwrap();
+        assert_eq!(buf, ScalarBuf::F64(vec![8.0, 9.0, 10.0, 11.0]));
+    }
+
+    #[test]
+    fn missing_variable_is_shape_error() {
+        let bytes = sample_bytes();
+        let mut src = NcChunkSource::new(
+            move || Ok(std::io::Cursor::new(bytes.clone())),
+            "nope",
+            vec![0, 0],
+        );
+        assert!(matches!(src.read_chunk(&[0, 0], &[1, 1]), Err(StoreError::Shape(_))));
+    }
+}

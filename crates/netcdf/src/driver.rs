@@ -26,6 +26,9 @@ use aql_lang::errors::LangError;
 use aql_lang::reader::Reader;
 use aql_lang::session::Session;
 
+use aql_store::{ChunkLayout, LazyArray, ScalarKind};
+
+use crate::chunk::NcChunkSource;
 use crate::io::{retry, IoSource};
 use crate::model::{NcError, NcValues};
 use crate::read::SlabReader;
@@ -51,14 +54,44 @@ where
     })
 }
 
-/// A `NETCDFk` reader: extracts a k-dimensional subslab as
-/// `[[real]]_k`.
+/// Target chunk size for lazily bound variables, in elements: 4096
+/// doubles = 32 KiB per chunk, small enough that a point probe reads
+/// a tiny fraction of a large variable, large enough to amortize the
+/// per-read header parse.
+pub const DEFAULT_CHUNK_ELEMS: u64 = 4096;
+
+/// Default per-array chunk-cache budget: 4 MiB.
+pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 20;
+
+/// A `NETCDFk` reader: binds a k-dimensional subslab as `[[real]]_k`.
+///
+/// In the default *lazy* mode the reader validates the request
+/// against the file header, then binds a chunked
+/// [`LazyArray`] whose cache misses re-open the
+/// file and read one chunk-sized hyperslab — so only the chunks a
+/// query touches ever leave disk. The *eager* mode materializes the
+/// whole subslab at `readval` time (the historical behavior; still
+/// useful when the file will be deleted before the values are used).
 pub struct NetcdfSlabReader {
     /// The dimensionality this reader serves.
     pub k: usize,
+    /// Bind lazily (chunked, on-demand) rather than materializing.
+    pub lazy: bool,
+    /// Chunk-cache byte budget for lazily bound arrays.
+    pub cache_budget: u64,
 }
 
 impl NetcdfSlabReader {
+    /// A lazily binding reader for dimensionality `k` with the
+    /// default cache budget.
+    pub fn lazy(k: usize) -> NetcdfSlabReader {
+        NetcdfSlabReader { k, lazy: true, cache_budget: DEFAULT_CACHE_BUDGET }
+    }
+
+    /// An eagerly materializing reader for dimensionality `k`.
+    pub fn eager(k: usize) -> NetcdfSlabReader {
+        NetcdfSlabReader { k, lazy: false, cache_budget: DEFAULT_CACHE_BUDGET }
+    }
     fn parse_bound(v: &Value, k: usize, which: &str) -> Result<Vec<u64>, LangError> {
         let idx = v
             .as_index()
@@ -117,18 +150,66 @@ impl Reader for NetcdfSlabReader {
             count.push(hi[j] - lo[j] + 1);
         }
 
-        let vals = read_slab_retrying(
-            || {
+        // Validate the binding against the header up front, so a bad
+        // file / variable / bound fails at `readval` time in both
+        // modes (a lazy array must not defer *request* errors to
+        // first touch).
+        let sess_err = |e: NcError| LangError::session(format!("NETCDF{k}: {e}"));
+        let reader = retry(|| SlabReader::open(&file)).map_err(sess_err)?;
+        let meta = reader.header.find(&varname).map_err(sess_err)?;
+        if meta.var.ty == crate::format::NcType::Char {
+            return Err(LangError::session(format!(
+                "NETCDF{k}: NC_CHAR variables cannot be read as real arrays"
+            )));
+        }
+        let shape = reader.header.shape(&meta.var).map_err(sess_err)?;
+        if shape.len() != k {
+            return Err(LangError::session(format!(
+                "NETCDF{k}: variable `{varname}` has {} dimension(s)",
+                shape.len()
+            )));
+        }
+        for j in 0..k {
+            if hi[j] >= shape[j] {
+                return Err(LangError::session(format!(
+                    "NETCDF{k}: dimension {j}: upper bound {} outside extent {}",
+                    hi[j], shape[j]
+                )));
+            }
+        }
+        drop(reader);
+
+        if !self.lazy {
+            let vals = read_slab_retrying(
+                || {
+                    Ok(std::io::BufReader::new(
+                        std::fs::File::open(&file).map_err(NcError::from)?,
+                    ))
+                },
+                &varname,
+                &lo,
+                &count,
+            )
+            .map_err(sess_err)?;
+            let arr = values_to_array(&vals, &count)
+                .map_err(|m| LangError::session(format!("NETCDF{k}: {m}")))?;
+            return Ok((arr, Some(Type::array(Type::Real, k))));
+        }
+
+        let layout = ChunkLayout::row_major(count, DEFAULT_CHUNK_ELEMS)
+            .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
+        let source = NcChunkSource::new(
+            move || {
                 Ok(std::io::BufReader::new(std::fs::File::open(&file).map_err(NcError::from)?))
             },
-            &varname,
-            &lo,
-            &count,
-        )
-        .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
-        let arr = values_to_array(&vals, &count)
-            .map_err(|m| LangError::session(format!("NETCDF{k}: {m}")))?;
-        Ok((arr, Some(Type::array(Type::Real, k))))
+            varname,
+            lo,
+        );
+        let lazy =
+            LazyArray::new(layout, ScalarKind::F64, Box::new(source), self.cache_budget);
+        let arr = ArrayVal::lazy(lazy)
+            .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
+        Ok((Value::Array(Rc::new(arr)), Some(Type::array(Type::Real, k))))
     }
 }
 
@@ -205,7 +286,7 @@ impl aql_lang::reader::Writer for NetcdfArrayWriter {
             .as_array()
             .map_err(|_| LangError::session("NETCDF writer: the value must be an array"))?;
         let mut doubles = Vec::with_capacity(arr.len());
-        for v in arr.data() {
+        for v in arr.data().iter() {
             let x = match v {
                 Value::Real(r) => *r,
                 Value::Nat(n) => *n as f64,
@@ -241,7 +322,7 @@ impl aql_lang::reader::Writer for NetcdfArrayWriter {
 /// `NETCDF4` and `NETCDFINFO`, and the writer `NETCDF`.
 pub fn register_netcdf(session: &mut Session) {
     for k in 1..=4usize {
-        session.register_reader(&format!("NETCDF{k}"), Rc::new(NetcdfSlabReader { k }));
+        session.register_reader(&format!("NETCDF{k}"), Rc::new(NetcdfSlabReader::lazy(k)));
     }
     session.register_reader("NETCDFINFO", Rc::new(NetcdfInfoReader));
     session.register_writer("NETCDF", Rc::new(NetcdfArrayWriter));
@@ -285,19 +366,22 @@ mod tests {
         let path = dir.join("t.nc");
         write_sample(&path);
 
-        let r = NetcdfSlabReader { k: 2 };
-        let arg = Value::tuple(vec![
-            Value::str(path.to_str().unwrap()),
-            Value::str("temp"),
-            Value::tuple(vec![Value::Nat(1), Value::Nat(0)]),
-            Value::tuple(vec![Value::Nat(2), Value::Nat(1)]),
-        ]);
-        let (v, ty) = r.read(&arg).unwrap();
-        assert_eq!(ty, Some(Type::array(Type::Real, 2)));
-        let a = v.as_array().unwrap();
-        assert_eq!(a.dims(), &[2, 2]);
-        assert_eq!(a.get(&[0, 0]).unwrap(), &Value::Real(3.0));
-        assert_eq!(a.get(&[1, 1]).unwrap(), &Value::Real(7.0));
+        // Both binding modes must agree on the values.
+        for r in [NetcdfSlabReader::lazy(2), NetcdfSlabReader::eager(2)] {
+            let arg = Value::tuple(vec![
+                Value::str(path.to_str().unwrap()),
+                Value::str("temp"),
+                Value::tuple(vec![Value::Nat(1), Value::Nat(0)]),
+                Value::tuple(vec![Value::Nat(2), Value::Nat(1)]),
+            ]);
+            let (v, ty) = r.read(&arg).unwrap();
+            assert_eq!(ty, Some(Type::array(Type::Real, 2)));
+            let a = v.as_array().unwrap();
+            assert_eq!(a.is_lazy(), r.lazy);
+            assert_eq!(a.dims(), &[2, 2]);
+            assert_eq!(a.get(&[0, 0]).unwrap(), Value::Real(3.0));
+            assert_eq!(a.get(&[1, 1]).unwrap(), Value::Real(7.0));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -306,7 +390,7 @@ mod tests {
         let dir = tmpdir();
         let path = dir.join("t.nc");
         write_sample(&path);
-        let r = NetcdfSlabReader { k: 2 };
+        let r = NetcdfSlabReader::lazy(2);
         // Upper below lower.
         let arg = Value::tuple(vec![
             Value::str(path.to_str().unwrap()),
@@ -366,7 +450,7 @@ mod tests {
             for j in 0..4u64 {
                 assert_eq!(
                     arr.get(&[i, j]).unwrap(),
-                    &Value::Real((i * 10 + j) as f64),
+                    Value::Real((i * 10 + j) as f64),
                     "at ({i}, {j})"
                 );
             }

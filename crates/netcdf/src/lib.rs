@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod driver;
 pub mod format;
 pub mod io;

@@ -1,0 +1,202 @@
+//! A budgeted LRU buffer cache for chunks.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use crate::buffer::ScalarBuf;
+use crate::error::StoreError;
+use crate::stats::{self, CacheStats};
+
+struct Entry {
+    buf: Rc<ScalarBuf>,
+    tick: u64,
+}
+
+/// An LRU cache of chunk buffers held under a configurable byte
+/// budget.
+///
+/// Lookups go through [`get_or_load`](ChunkCache::get_or_load): a hit
+/// returns the cached buffer and refreshes its recency; a miss runs
+/// the supplied loader, accounts the loaded bytes, inserts the buffer,
+/// and then evicts least-recently-used chunks until the payload bytes
+/// held fit the budget again (the just-loaded chunk is never evicted,
+/// so a single chunk larger than the whole budget still works — the
+/// cache simply holds that one chunk). A loader error is propagated
+/// to the caller and leaves the cache contents untouched, so a failed
+/// load can never poison previously cached chunks.
+///
+/// All counter increments are mirrored into the thread-local aggregate
+/// readable via [`stats::global`].
+pub struct ChunkCache {
+    budget: u64,
+    map: HashMap<u64, Entry>,
+    order: BTreeMap<u64, u64>, // tick -> chunk id
+    tick: u64,
+    bytes: u64,
+    stats: CacheStats,
+}
+
+impl ChunkCache {
+    /// A cache that holds at most `budget_bytes` of chunk payload.
+    pub fn new(budget_bytes: u64) -> ChunkCache {
+        ChunkCache {
+            budget: budget_bytes,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Payload bytes currently held.
+    pub fn bytes_held(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of chunks currently held.
+    pub fn chunks_held(&self) -> usize {
+        self.map.len()
+    }
+
+    /// This cache's counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Return chunk `id`, consulting `load` on a miss.
+    pub fn get_or_load(
+        &mut self,
+        id: u64,
+        load: impl FnOnce() -> Result<ScalarBuf, StoreError>,
+    ) -> Result<Rc<ScalarBuf>, StoreError> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&id) {
+            self.order.remove(&entry.tick);
+            entry.tick = tick;
+            self.order.insert(tick, id);
+            let buf = Rc::clone(&entry.buf);
+            self.bump(CacheStats { hits: 1, ..Default::default() });
+            return Ok(buf);
+        }
+        let buf = match load() {
+            Ok(buf) => Rc::new(buf),
+            Err(e) => {
+                self.bump(CacheStats { misses: 1, load_errors: 1, ..Default::default() });
+                return Err(e);
+            }
+        };
+        let loaded = buf.byte_len();
+        self.bump(CacheStats { misses: 1, bytes_read: loaded, ..Default::default() });
+        self.bytes += loaded;
+        self.map.insert(id, Entry { buf: Rc::clone(&buf), tick });
+        self.order.insert(tick, id);
+        self.evict_over_budget(id);
+        Ok(buf)
+    }
+
+    /// Evict LRU-first until within budget, sparing `keep`.
+    fn evict_over_budget(&mut self, keep: u64) {
+        while self.bytes > self.budget {
+            let victim = self
+                .order
+                .iter()
+                .map(|(&t, &c)| (t, c))
+                .find(|&(_, c)| c != keep);
+            let Some((t, c)) = victim else { break };
+            self.order.remove(&t);
+            let entry = self.map.remove(&c).expect("order and map agree");
+            self.bytes -= entry.buf.byte_len();
+            self.bump(CacheStats { evictions: 1, ..Default::default() });
+        }
+    }
+
+    fn bump(&mut self, delta: CacheStats) {
+        self.stats.hits += delta.hits;
+        self.stats.misses += delta.misses;
+        self.stats.evictions += delta.evictions;
+        self.stats.bytes_read += delta.bytes_read;
+        self.stats.load_errors += delta.load_errors;
+        stats::global_add(delta);
+    }
+}
+
+impl std::fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("budget", &self.budget)
+            .field("bytes", &self.bytes)
+            .field("chunks", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize, fill: f64) -> ScalarBuf {
+        ScalarBuf::F64(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = ChunkCache::new(1024);
+        c.get_or_load(0, || Ok(buf(4, 1.0))).unwrap();
+        let b = c.get_or_load(0, || panic!("should not reload")).unwrap();
+        assert_eq!(b.len(), 4);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.bytes_read), (1, 1, 32));
+    }
+
+    #[test]
+    fn evicts_lru_first_under_budget() {
+        // Budget fits two 32-byte chunks.
+        let mut c = ChunkCache::new(64);
+        c.get_or_load(0, || Ok(buf(4, 0.0))).unwrap();
+        c.get_or_load(1, || Ok(buf(4, 1.0))).unwrap();
+        c.get_or_load(0, || panic!("0 still cached")).unwrap(); // refresh 0
+        c.get_or_load(2, || Ok(buf(4, 2.0))).unwrap(); // evicts 1
+        c.get_or_load(0, || panic!("0 survived")).unwrap();
+        let reloaded = std::cell::Cell::new(false);
+        c.get_or_load(1, || {
+            reloaded.set(true);
+            Ok(buf(4, 1.0))
+        })
+        .unwrap();
+        assert!(reloaded.get(), "LRU chunk 1 was evicted");
+        assert_eq!(c.stats().evictions, 2); // 1 evicted, then 2 or 0 evicted on reload of 1
+    }
+
+    #[test]
+    fn oversized_chunk_is_kept_alone() {
+        let mut c = ChunkCache::new(16);
+        c.get_or_load(0, || Ok(buf(2, 0.0))).unwrap();
+        c.get_or_load(1, || Ok(buf(100, 1.0))).unwrap(); // 800 bytes > budget
+        assert_eq!(c.chunks_held(), 1);
+        c.get_or_load(1, || panic!("oversized chunk stays resident")).unwrap();
+    }
+
+    #[test]
+    fn load_error_does_not_poison() {
+        let mut c = ChunkCache::new(1024);
+        c.get_or_load(0, || Ok(buf(4, 0.0))).unwrap();
+        let err = c.get_or_load(1, || Err(StoreError::io("boom"))).unwrap_err();
+        assert!(!err.is_transient());
+        // Chunk 0 still hits; chunk 1 was never inserted.
+        c.get_or_load(0, || panic!("0 still cached")).unwrap();
+        let s = c.stats();
+        assert_eq!(s.load_errors, 1);
+        assert_eq!(c.chunks_held(), 1);
+        // A later successful load of 1 caches normally.
+        c.get_or_load(1, || Ok(buf(4, 1.0))).unwrap();
+        c.get_or_load(1, || panic!("1 cached after recovery")).unwrap();
+    }
+}

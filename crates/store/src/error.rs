@@ -1,0 +1,52 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// A failure in the chunked storage layer.
+///
+/// The `transient` flag on [`StoreError::Io`] preserves the retry
+/// classification of the underlying driver (a timed-out read is worth
+/// retrying, a corrupt header is not); callers that hold their own
+/// retry loops can use [`StoreError::is_transient`] to decide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O failure reported by the chunk source.
+    Io {
+        /// Human-readable context from the source.
+        message: String,
+        /// Whether the failure is worth retrying.
+        transient: bool,
+    },
+    /// The source produced bytes that contradict its own metadata
+    /// (wrong chunk length, wrong element kind, corrupt framing).
+    Corrupt(String),
+    /// A request whose shape does not fit the layout (rank mismatch,
+    /// out-of-bounds slab, zero chunk extent).
+    Shape(String),
+}
+
+impl StoreError {
+    /// Is this failure worth retrying?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io { transient: true, .. })
+    }
+
+    /// Shorthand for a non-transient I/O error.
+    pub fn io(message: impl Into<String>) -> StoreError {
+        StoreError::Io { message: message.into(), transient: false }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { message, transient } => {
+                write!(f, "storage I/O error{}: {message}", if *transient { " (transient)" } else { "" })
+            }
+            StoreError::Corrupt(m) => write!(f, "corrupt chunk data: {m}"),
+            StoreError::Shape(m) => write!(f, "storage shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,297 @@
+//! Lazy arrays: a layout + a source + a cache.
+
+use std::rc::Rc;
+
+use crate::buffer::{Scalar, ScalarBuf, ScalarKind};
+use crate::cache::ChunkCache;
+use crate::error::StoreError;
+use crate::layout::{checked_product, ChunkLayout};
+use crate::source::ChunkSource;
+use crate::stats::CacheStats;
+
+/// An array whose elements live behind a [`ChunkSource`] and are
+/// fetched chunk-at-a-time through a budgeted [`ChunkCache`].
+///
+/// A `LazyArray` never materializes more than the chunks a caller
+/// actually touches (plus whatever the cache retains under its
+/// budget). Element reads are fallible — the source may hit I/O
+/// errors — so [`get`](LazyArray::get) returns
+/// `Result<Option<Scalar>, StoreError>`: the `Option` is the usual
+/// out-of-bounds signal, the `Result` is the storage layer.
+pub struct LazyArray {
+    layout: ChunkLayout,
+    kind: ScalarKind,
+    cache: ChunkCache,
+    source: Box<dyn ChunkSource>,
+}
+
+impl LazyArray {
+    /// A lazy array over `layout` whose elements have kind `kind`,
+    /// served by `source` through a cache of `budget_bytes`.
+    pub fn new(
+        layout: ChunkLayout,
+        kind: ScalarKind,
+        source: Box<dyn ChunkSource>,
+        budget_bytes: u64,
+    ) -> LazyArray {
+        LazyArray { layout, kind, cache: ChunkCache::new(budget_bytes), source }
+    }
+
+    /// The chunk layout.
+    pub fn layout(&self) -> &ChunkLayout {
+        &self.layout
+    }
+
+    /// The element kind.
+    pub fn kind(&self) -> ScalarKind {
+        self.kind
+    }
+
+    /// This array's cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The element at multidimensional index `idx`; `Ok(None)` when
+    /// the index is out of bounds.
+    pub fn get(&mut self, idx: &[u64]) -> Result<Option<Scalar>, StoreError> {
+        let Some(addr) = self.layout.locate(idx) else {
+            return Ok(None);
+        };
+        let buf = load_chunk(&mut self.cache, &self.layout, self.kind, &mut self.source, addr.chunk)?;
+        let s = buf.get(addr.offset as usize).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "chunk {} has no offset {} despite validated length",
+                addr.chunk, addr.offset
+            ))
+        })?;
+        Ok(Some(s))
+    }
+
+    /// The element at row-major linear offset `off`; `Ok(None)` past
+    /// the end.
+    pub fn get_linear(&mut self, off: u64) -> Result<Option<Scalar>, StoreError> {
+        if off >= self.layout.total_elems() {
+            return Ok(None);
+        }
+        let idx = unflatten(off, self.layout.dims());
+        self.get(&idx)
+    }
+
+    /// Materialize the hyperslab `(start, count)` into a flat buffer
+    /// in row-major order, loading only the chunks it overlaps.
+    pub fn read_slab(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError> {
+        let dims = self.layout.dims().to_vec();
+        if start.len() != dims.len() || count.len() != dims.len() {
+            return Err(StoreError::Shape(format!(
+                "slab rank {} does not match array rank {}",
+                start.len().max(count.len()),
+                dims.len()
+            )));
+        }
+        for j in 0..dims.len() {
+            let end = start[j]
+                .checked_add(count[j])
+                .ok_or_else(|| StoreError::Shape("slab extent overflows u64".into()))?;
+            if end > dims[j] {
+                return Err(StoreError::Shape(format!(
+                    "slab [{}, {}) exceeds extent {} on dimension {j}",
+                    start[j], end, dims[j]
+                )));
+            }
+        }
+        let n = checked_product(count)
+            .ok_or_else(|| StoreError::Shape("slab element count overflows u64".into()))?;
+        let mut out = ScalarBuf::with_capacity(self.kind, n as usize);
+        if n == 0 {
+            return Ok(out);
+        }
+        // Odometer over the slab in row-major order.
+        let mut idx = start.to_vec();
+        loop {
+            let s = self.get(&idx)?.ok_or_else(|| {
+                StoreError::Shape("validated slab index out of bounds".into())
+            })?;
+            out.push(s);
+            let mut j = dims.len();
+            loop {
+                if j == 0 {
+                    return Ok(out);
+                }
+                j -= 1;
+                idx[j] += 1;
+                if idx[j] < start[j] + count[j] {
+                    break;
+                }
+                idx[j] = start[j];
+            }
+        }
+    }
+}
+
+/// Load chunk `id` through the cache, validating length and kind.
+fn load_chunk(
+    cache: &mut ChunkCache,
+    layout: &ChunkLayout,
+    kind: ScalarKind,
+    source: &mut Box<dyn ChunkSource>,
+    id: u64,
+) -> Result<Rc<ScalarBuf>, StoreError> {
+    let (start, count) = layout
+        .chunk_bounds(id)
+        .ok_or_else(|| StoreError::Shape(format!("chunk id {id} out of range")))?;
+    let want = layout.chunk_len(id).expect("bounds exist");
+    cache.get_or_load(id, || {
+        let buf = source.read_chunk(&start, &count)?;
+        if buf.len() as u64 != want {
+            return Err(StoreError::Corrupt(format!(
+                "chunk {id}: source returned {} elements, layout expects {want}",
+                buf.len()
+            )));
+        }
+        if buf.kind() != kind {
+            return Err(StoreError::Corrupt(format!(
+                "chunk {id}: source returned {} elements, array is {kind}",
+                buf.kind()
+            )));
+        }
+        Ok(buf)
+    })
+}
+
+/// Row-major multidimensional index for linear offset `off`.
+fn unflatten(off: u64, dims: &[u64]) -> Vec<u64> {
+    let mut rem = off;
+    let mut idx = vec![0u64; dims.len()];
+    for j in (0..dims.len()).rev() {
+        idx[j] = rem % dims[j];
+        rem /= dims[j];
+    }
+    idx
+}
+
+impl std::fmt::Debug for LazyArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyArray")
+            .field("layout", &self.layout)
+            .field("kind", &self.kind)
+            .field("cache", &self.cache)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A source over an in-memory row-major f64 vector.
+    pub(crate) struct VecSource {
+        pub dims: Vec<u64>,
+        pub data: Vec<f64>,
+        pub reads: u64,
+    }
+
+    impl VecSource {
+        pub fn new(dims: Vec<u64>, data: Vec<f64>) -> VecSource {
+            assert_eq!(dims.iter().product::<u64>() as usize, data.len());
+            VecSource { dims, data, reads: 0 }
+        }
+    }
+
+    impl ChunkSource for VecSource {
+        fn read_chunk(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError> {
+            self.reads += 1;
+            let n: u64 = count.iter().product();
+            let mut out = Vec::with_capacity(n as usize);
+            if n > 0 {
+                let mut idx = start.to_vec();
+                'outer: loop {
+                    let mut off = 0u64;
+                    for j in 0..self.dims.len() {
+                        off = off * self.dims[j] + idx[j];
+                    }
+                    out.push(self.data[off as usize]);
+                    let mut j = self.dims.len();
+                    loop {
+                        if j == 0 {
+                            break 'outer;
+                        }
+                        j -= 1;
+                        idx[j] += 1;
+                        if idx[j] < start[j] + count[j] {
+                            break;
+                        }
+                        idx[j] = start[j];
+                    }
+                }
+            }
+            Ok(ScalarBuf::F64(out))
+        }
+    }
+
+    fn lazy_over(dims: Vec<u64>, chunk: Vec<u64>, budget: u64) -> LazyArray {
+        let n: u64 = dims.iter().product();
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let layout = ChunkLayout::new(dims.clone(), chunk).unwrap();
+        LazyArray::new(layout, ScalarKind::F64, Box::new(VecSource::new(dims, data)), budget)
+    }
+
+    #[test]
+    fn point_reads_match_row_major_order() {
+        let mut a = lazy_over(vec![4, 5], vec![3, 3], 1 << 16);
+        assert_eq!(a.get(&[0, 0]).unwrap(), Some(Scalar::F64(0.0)));
+        assert_eq!(a.get(&[1, 4]).unwrap(), Some(Scalar::F64(9.0)));
+        assert_eq!(a.get(&[3, 4]).unwrap(), Some(Scalar::F64(19.0)));
+        assert_eq!(a.get(&[4, 0]).unwrap(), None);
+        assert_eq!(a.get_linear(7).unwrap(), Some(Scalar::F64(7.0)));
+        assert_eq!(a.get_linear(20).unwrap(), None);
+    }
+
+    #[test]
+    fn slab_matches_dense_extraction() {
+        let mut a = lazy_over(vec![4, 5], vec![2, 2], 1 << 16);
+        let got = a.read_slab(&[1, 2], &[2, 3]).unwrap();
+        // Rows 1..3, cols 2..5 of the 4×5 iota array.
+        assert_eq!(got, ScalarBuf::F64(vec![7.0, 8.0, 9.0, 12.0, 13.0, 14.0]));
+    }
+
+    #[test]
+    fn zero_extent_slab_is_empty() {
+        let mut a = lazy_over(vec![4, 5], vec![2, 2], 1 << 16);
+        let got = a.read_slab(&[2, 1], &[0, 3]).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(got.kind(), ScalarKind::F64);
+    }
+
+    #[test]
+    fn out_of_bounds_slab_is_shape_error() {
+        let mut a = lazy_over(vec![4, 5], vec![2, 2], 1 << 16);
+        assert!(matches!(a.read_slab(&[3, 0], &[2, 1]), Err(StoreError::Shape(_))));
+        assert!(matches!(a.read_slab(&[0], &[1]), Err(StoreError::Shape(_))));
+    }
+
+    #[test]
+    fn point_probe_touches_one_chunk() {
+        let mut a = lazy_over(vec![100, 10], vec![10, 10], 1 << 20);
+        a.get(&[55, 5]).unwrap();
+        let s = a.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.bytes_read, 100 * 8);
+        // Second probe in the same chunk hits.
+        a.get(&[55, 6]).unwrap();
+        assert_eq!(a.stats().hits, 1);
+    }
+
+    #[test]
+    fn kind_mismatch_is_corrupt() {
+        struct BoolSource;
+        impl ChunkSource for BoolSource {
+            fn read_chunk(&mut self, _s: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError> {
+                Ok(ScalarBuf::Bool(vec![true; count.iter().product::<u64>() as usize]))
+            }
+        }
+        let layout = ChunkLayout::new(vec![4], vec![2]).unwrap();
+        let mut a = LazyArray::new(layout, ScalarKind::F64, Box::new(BoolSource), 1 << 10);
+        assert!(matches!(a.get(&[0]), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,41 @@
+//! # aql-store — chunked, lazily-materialized array storage
+//!
+//! The paper's central optimization claim (§5) is that treating arrays
+//! as *functions* lets the system avoid materializing intermediates.
+//! This crate supplies the storage half of that claim for *on-disk*
+//! arrays: instead of reading a whole variable eagerly, an array can be
+//! **lazy** — a [`ChunkLayout`] partitioning its index space into
+//! row-major chunks, a [`ChunkSource`] that can fetch any chunk, and a
+//! [`ChunkCache`] holding recently used chunks under a byte budget with
+//! LRU eviction. Only the chunks a query actually touches ever leave
+//! the source.
+//!
+//! The crate is deliberately free of any dependency on the AQL value
+//! model: elements are plain scalars ([`Scalar`] / [`ScalarBuf`]), so
+//! `aql-core` can wrap a [`LazyArray`] behind its `ArrayVal` without a
+//! dependency cycle, and any driver crate (NetCDF today, others later)
+//! can implement [`ChunkSource`] against its own byte format.
+//!
+//! Every cache records [`CacheStats`] — hits, misses, evictions, bytes
+//! read, load errors — and mirrors them into a thread-local aggregate
+//! ([`stats::global`]) so an evaluator can report the I/O cost of a
+//! query as a before/after delta without threading a handle through
+//! every array.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cache;
+pub mod error;
+pub mod layout;
+pub mod lazy;
+pub mod source;
+pub mod stats;
+
+pub use buffer::{Scalar, ScalarBuf, ScalarKind};
+pub use cache::ChunkCache;
+pub use error::StoreError;
+pub use layout::{ChunkAddr, ChunkLayout};
+pub use lazy::LazyArray;
+pub use source::ChunkSource;
+pub use stats::CacheStats;

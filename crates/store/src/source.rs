@@ -1,0 +1,24 @@
+//! The chunk-source trait: where cache misses go.
+
+use crate::buffer::ScalarBuf;
+use crate::error::StoreError;
+
+/// A backend that can produce the elements of any rectangular
+/// hyperslab of one array variable.
+///
+/// The cache calls [`read_chunk`](ChunkSource::read_chunk) with the
+/// clipped `(start, count)` bounds of a chunk (as computed by
+/// [`ChunkLayout::chunk_bounds`](crate::ChunkLayout::chunk_bounds))
+/// and expects exactly `count.iter().product()` elements back in
+/// row-major order. Sources take `&mut self` so they may keep open
+/// handles, retry state, or fault-injection counters.
+pub trait ChunkSource {
+    /// Read the hyperslab `(start, count)` of the backing variable.
+    fn read_chunk(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError>;
+}
+
+impl<T: ChunkSource + ?Sized> ChunkSource for Box<T> {
+    fn read_chunk(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError> {
+        (**self).read_chunk(start, count)
+    }
+}

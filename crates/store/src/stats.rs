@@ -1,0 +1,111 @@
+//! Cache instrumentation counters.
+//!
+//! Every [`ChunkCache`](crate::ChunkCache) keeps its own
+//! [`CacheStats`], and mirrors each increment into a **thread-local
+//! aggregate** readable via [`global`]. The aggregate lets an
+//! evaluator report the I/O cost of one query as a before/after delta
+//! ([`CacheStats::delta_since`]) without threading a cache handle
+//! through every array value. The runtime is single-threaded (values
+//! are `Rc`-based), so a thread-local is exact, not approximate.
+
+use std::cell::Cell;
+
+/// Monotonic counters describing cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to consult the chunk source.
+    pub misses: u64,
+    /// Chunks evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Payload bytes loaded from the source on misses.
+    pub bytes_read: u64,
+    /// Loader invocations that returned an error (nothing cached).
+    pub load_errors: u64,
+}
+
+impl CacheStats {
+    /// The counter increments since `base` was captured. Saturating:
+    /// a stale base larger than `self` clamps to zero rather than
+    /// wrapping.
+    pub fn delta_since(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            bytes_read: self.bytes_read.saturating_sub(base.bytes_read),
+            load_errors: self.load_errors.saturating_sub(base.load_errors),
+        }
+    }
+
+    /// Hit rate in `[0, 1]`, or `None` when no lookups happened.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+thread_local! {
+    static GLOBAL: Cell<CacheStats> = const { Cell::new(CacheStats {
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        bytes_read: 0,
+        load_errors: 0,
+    }) };
+}
+
+/// Snapshot of the thread-local aggregate across all caches on this
+/// thread.
+pub fn global() -> CacheStats {
+    GLOBAL.with(|g| g.get())
+}
+
+/// Fold `delta` into the thread-local aggregate.
+pub(crate) fn global_add(delta: CacheStats) {
+    GLOBAL.with(|g| {
+        let cur = g.get();
+        g.set(CacheStats {
+            hits: cur.hits + delta.hits,
+            misses: cur.misses + delta.misses,
+            evictions: cur.evictions + delta.evictions,
+            bytes_read: cur.bytes_read + delta.bytes_read,
+            load_errors: cur.load_errors + delta.load_errors,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_saturates() {
+        let a = CacheStats { hits: 5, misses: 2, ..Default::default() };
+        let b = CacheStats { hits: 7, misses: 1, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.hits, 2);
+        assert_eq!(d.misses, 0);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(CacheStats::default().hit_rate(), None);
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn global_accumulates() {
+        let base = global();
+        global_add(CacheStats { hits: 2, bytes_read: 16, ..Default::default() });
+        let d = global().delta_since(&base);
+        assert_eq!(d.hits, 2);
+        assert_eq!(d.bytes_read, 16);
+    }
+}

@@ -49,7 +49,7 @@ pub fn register_heatindex(session: &mut Session) {
     session.register_external(NativeFn::new("heatindex", ty, |v| {
         let arr = v.as_array()?;
         let mut readings = Vec::with_capacity(arr.len());
-        for item in arr.data() {
+        for item in arr.data().iter() {
             let t = item.as_tuple()?;
             readings.push((t[0].as_real()?, t[1].as_real()?, t[2].as_real()?));
         }

@@ -124,7 +124,8 @@ proptest! {
         let got = v.as_array().unwrap();
         prop_assert_eq!(got.dims(), &[ns.len() as u64][..]);
         for (i, &x) in ns.iter().enumerate() {
-            let cell = got.get(&[i as u64]).unwrap().as_set().unwrap();
+            let cellv = got.get(&[i as u64]).unwrap();
+            let cell = cellv.as_set().unwrap();
             prop_assert_eq!(cell.len(), 1);
             prop_assert!(cell.contains(&Value::Nat(x)));
         }

@@ -16,7 +16,11 @@ use crate::token::{Spanned, Tok};
 
 /// Parse a whole program: a sequence of `;`-terminated statements.
 pub fn parse_program(src: &str) -> Result<Vec<Stmt>, LangError> {
-    let toks = lex(src)?;
+    let _span = aql_trace::span("parse");
+    let toks = {
+        let _lex_span = aql_trace::span("lex");
+        lex(src)?
+    };
     let mut p = Parser { toks, pos: 0 };
     let mut out = Vec::new();
     while !p.at(&Tok::Eof) {

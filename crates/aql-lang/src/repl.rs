@@ -55,11 +55,34 @@ pub fn run_repl(
             pending.clear();
             continue;
         }
-        // `explain <query>;` shows the pipeline instead of running it.
-        if let Some(q) = trimmed_stmt.strip_prefix("explain ") {
+        // `\explain <query>;` (and the legacy bare `explain` spelling)
+        // shows the pipeline — pre/post-optimization terms, rewrite
+        // steps, and the (phase, rule) fire table — instead of running
+        // the query.
+        if let Some(q) = trimmed_stmt
+            .strip_prefix("\\explain ")
+            .or_else(|| trimmed_stmt.strip_prefix("explain "))
+        {
             let q = q.trim_end().trim_end_matches(';');
             match session.explain(q) {
                 Ok(ex) => writeln!(output, "{}", ex.render())?,
+                Err(e) => writeln!(output, "error: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
+        // `\profile <statements>` runs the statements with tracing on
+        // and prints the phase-timing tree plus evaluation/I/O totals
+        // after the usual echoes.
+        if let Some(src) = trimmed_stmt.strip_prefix("\\profile ") {
+            match session.profile(src) {
+                Ok((outcomes, report)) => {
+                    for o in outcomes {
+                        writeln!(output, "{}", o.text)?;
+                        executed += 1;
+                    }
+                    write!(output, "{}", report.render_profile(false))?;
+                }
                 Err(e) => writeln!(output, "error: {e}")?,
             }
             pending.clear();
@@ -193,6 +216,60 @@ mod tests {
         assert!(text.contains("beta-p"), "trace must show β^p: {text}");
         assert!(text.contains("opt  : 3"), "the query folds to 3: {text}");
         assert!(text.contains("val it = 2"), "the REPL keeps running");
+    }
+
+    /// Drive a fresh session's REPL over `input` and return the
+    /// timing-redacted transcript.
+    fn redacted_transcript(input: &str) -> String {
+        let mut s = Session::new();
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        aql_trace::redact_timings(&String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn backslash_explain_shows_fire_table() {
+        let text = redacted_transcript("\\explain [[ i | \\i < 10 ]][3];\n");
+        assert!(text.contains("typ  : nat"), "{text}");
+        assert!(text.contains("opt  : 3"), "the query folds to 3: {text}");
+        assert!(text.contains("rule fires:"), "{text}");
+        for col in ["phase", "rule", "fires"] {
+            assert!(text.contains(col), "fire table column `{col}`: {text}");
+        }
+        assert!(text.contains("beta-p"), "fire table must name β^p: {text}");
+        // Golden: explain output carries no timings, so two fresh
+        // sessions must render identically.
+        assert_eq!(text, redacted_transcript("\\explain [[ i | \\i < 10 ]][3];\n"));
+    }
+
+    #[test]
+    fn backslash_profile_shows_phase_tree() {
+        let input = "\\profile val \\a = [[ i * i | \\i < 8 ]]; a[3];\n";
+        let text = redacted_transcript(input);
+        assert!(text.contains("typ a : [[nat]]_1"), "{text}");
+        assert!(text.contains("val it = 9"), "{text}");
+        // The span tree: one root per statement with the pipeline
+        // phases as children, durations redacted to `(_)`.
+        assert!(text.contains("statement [kind=val] (_)"), "{text}");
+        assert!(text.contains("statement [kind=query] (_)"), "{text}");
+        for phase in ["desugar", "typecheck", "optimize", "eval"] {
+            assert!(
+                text.contains(&format!("─ {phase} (_)")),
+                "phase `{phase}` must appear as a child span: {text}"
+            );
+        }
+        assert!(text.contains("eval.steps="), "{text}");
+        assert!(text.contains("totals: steps="), "{text}");
+        // Golden: after redaction the transcript is deterministic.
+        assert_eq!(text, redacted_transcript(input));
+    }
+
+    #[test]
+    fn profile_recovers_from_errors() {
+        let text = redacted_transcript("\\profile 1 + true;\n2 + 2;\n");
+        assert!(text.contains("error:"), "{text}");
+        assert!(text.contains("val it = 4"), "the REPL keeps running: {text}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! run time — the Rust counterparts of the paper's SML registration
 //! routines.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -137,17 +138,151 @@ pub struct Explain {
 }
 
 impl Explain {
-    /// A human-readable rendering (used by the REPL's `explain`).
+    /// A human-readable rendering (used by the REPL's `explain` and
+    /// `\explain`): the pre/post-optimization terms, the full rewrite
+    /// trace, and the `(phase, rule)` fire table.
     pub fn render(&self) -> String {
         format!(
-            "typ  : {}\ncore : {}\nopt  : {}\n{} rewrite step(s):\n{}",
+            "typ  : {}\ncore : {}\nopt  : {}\n{} rewrite step(s):\n{}rule fires:\n{}",
             self.ty,
             self.core,
             self.optimized,
             self.trace.len(),
-            self.trace.render()
+            self.trace.render(),
+            self.trace.render_fire_table()
         )
     }
+}
+
+/// A machine-readable account of the most recent [`Session::run`]:
+/// per-statement evaluation statistics plus (when collected through
+/// [`Session::profile`]) the full span/counter trace. Supersedes the
+/// old single-`EvalStats` `last_stats`, which silently dropped every
+/// statement but the final one in multi-statement input.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryReport {
+    /// One entry per executed statement, in program order. Cache
+    /// counters are the statement-level delta of the store's global
+    /// counters, so reader I/O and echo-forced loads are attributed
+    /// to the statement that caused them.
+    pub statements: Vec<EvalStats>,
+    /// The span tree and counters collected while tracing was on
+    /// (empty for an untraced run).
+    pub trace: aql_trace::Trace,
+}
+
+impl QueryReport {
+    /// Component-wise sum over all statements.
+    pub fn total(&self) -> EvalStats {
+        self.statements.iter().fold(EvalStats::default(), |a, s| a.merged(s))
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json_value(&self) -> aql_trace::json::Json {
+        use aql_trace::json::Json;
+        Json::Obj(vec![
+            (
+                "statements".to_string(),
+                Json::Arr(self.statements.iter().map(stats_to_json).collect()),
+            ),
+            ("trace".to_string(), self.trace.to_json_value()),
+        ])
+    }
+
+    /// Serialize to compact JSON (embedded in `BENCH_*.json`).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().write()
+    }
+
+    /// Rebuild a report serialized by [`QueryReport::to_json`].
+    pub fn from_json(src: &str) -> Result<QueryReport, String> {
+        let j = aql_trace::json::Json::parse(src)?;
+        let statements = j
+            .get("statements")
+            .and_then(aql_trace::json::Json::as_arr)
+            .ok_or("report: missing `statements` array")?
+            .iter()
+            .map(stats_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let trace = aql_trace::Trace::from_json_value(
+            j.get("trace").ok_or("report: missing `trace`")?,
+        )?;
+        Ok(QueryReport { statements, trace })
+    }
+
+    /// The `\profile` rendering: the phase-timing tree followed by the
+    /// evaluation and I/O totals. With `redact_timings` every duration
+    /// renders as `_` (deterministic; used by golden tests).
+    pub fn render_profile(&self, redact_timings: bool) -> String {
+        let mut out = String::new();
+        if !self.trace.is_empty() {
+            out.push_str(&self.trace.render(redact_timings));
+        }
+        let t = self.total();
+        out.push_str(&format!(
+            "totals: steps={} subscripts={} materialized={} | cache: hits={} \
+             misses={} evictions={} bytes_read={} load_errors={}\n",
+            t.steps,
+            t.subscripts,
+            t.materialized,
+            t.cache.hits,
+            t.cache.misses,
+            t.cache.evictions,
+            t.cache.bytes_read,
+            t.cache.load_errors,
+        ));
+        if self.statements.len() > 1 {
+            for (i, s) in self.statements.iter().enumerate() {
+                out.push_str(&format!(
+                    "  stmt {i}: steps={} subscripts={} materialized={} \
+                     cache.bytes_read={}\n",
+                    s.steps, s.subscripts, s.materialized, s.cache.bytes_read,
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn stats_to_json(s: &EvalStats) -> aql_trace::json::Json {
+    use aql_trace::json::Json;
+    let n = |v: u64| Json::Num(v as f64);
+    Json::Obj(vec![
+        ("steps".to_string(), n(s.steps)),
+        ("subscripts".to_string(), n(s.subscripts)),
+        ("materialized".to_string(), n(s.materialized)),
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("hits".to_string(), n(s.cache.hits)),
+                ("misses".to_string(), n(s.cache.misses)),
+                ("evictions".to_string(), n(s.cache.evictions)),
+                ("bytes_read".to_string(), n(s.cache.bytes_read)),
+                ("load_errors".to_string(), n(s.cache.load_errors)),
+            ]),
+        ),
+    ])
+}
+
+fn stats_from_json(j: &aql_trace::json::Json) -> Result<EvalStats, String> {
+    let field = |o: &aql_trace::json::Json, k: &str| {
+        o.get(k)
+            .and_then(aql_trace::json::Json::as_u64)
+            .ok_or_else(|| format!("stats: bad or missing `{k}`"))
+    };
+    let cache = j.get("cache").ok_or("stats: missing `cache`")?;
+    Ok(EvalStats {
+        steps: field(j, "steps")?,
+        subscripts: field(j, "subscripts")?,
+        materialized: field(j, "materialized")?,
+        cache: aql_store::CacheStats {
+            hits: field(cache, "hits")?,
+            misses: field(cache, "misses")?,
+            evictions: field(cache, "evictions")?,
+            bytes_read: field(cache, "bytes_read")?,
+            load_errors: field(cache, "load_errors")?,
+        },
+    })
 }
 
 /// An interactive AQL session: the top-level environment plus the
@@ -167,9 +302,12 @@ pub struct Session {
     pub optimize: bool,
     /// Truncation width for session echoes of large values.
     pub display_limit: usize,
-    /// Statistics of the most recent evaluation (steps + chunk-cache
-    /// counters of lazy arrays it touched).
-    last_stats: std::cell::Cell<EvalStats>,
+    /// Accumulator for the statement currently executing: every
+    /// `eval_core` within it merges its stats here; [`Session::exec`]
+    /// drains it into `stmt_stats`.
+    cur_stats: Cell<EvalStats>,
+    /// Per-statement statistics of the most recent [`Session::run`].
+    stmt_stats: RefCell<Vec<EvalStats>>,
 }
 
 impl Session {
@@ -199,15 +337,31 @@ impl Session {
             limits: Limits::default(),
             optimize: true,
             display_limit: aql_core::value::print::SESSION_TRUNCATE,
-            last_stats: std::cell::Cell::new(EvalStats::default()),
+            cur_stats: Cell::new(EvalStats::default()),
+            stmt_stats: RefCell::new(Vec::new()),
         }
     }
 
-    /// Statistics of the most recent query evaluated through this
-    /// session: steps plus the chunk-cache hit/miss/bytes-read
-    /// counters attributable to it. Zeroes before the first query.
+    /// Statistics of the most recent [`Session::run`]: the
+    /// component-wise sum over *all* its statements (steps plus the
+    /// chunk-cache counters attributable to each). Zeroes before the
+    /// first query. For per-statement attribution use
+    /// [`Session::last_report`].
     pub fn last_stats(&self) -> EvalStats {
-        self.last_stats.get()
+        self.stmt_stats.borrow().iter().fold(EvalStats::default(), |a, s| a.merged(s))
+    }
+
+    /// Per-statement statistics of the most recent [`Session::run`],
+    /// in program order.
+    pub fn statement_stats(&self) -> Vec<EvalStats> {
+        self.stmt_stats.borrow().clone()
+    }
+
+    /// The report for the most recent [`Session::run`]. The trace is
+    /// empty unless the run went through [`Session::profile`] (which
+    /// returns the trace-bearing report directly).
+    pub fn last_report(&self) -> QueryReport {
+        QueryReport { statements: self.statement_stats(), trace: aql_trace::Trace::default() }
     }
 
     // ---- openness: registration (§4.1) ---------------------------------
@@ -273,12 +427,26 @@ impl Session {
 
     /// Execute a program (one or more `;`-terminated statements).
     pub fn run(&mut self, src: &str) -> Result<Vec<Outcome>, LangError> {
+        self.stmt_stats.borrow_mut().clear();
         let stmts = parse_program(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for s in stmts {
             out.push(self.exec(&s)?);
         }
         Ok(out)
+    }
+
+    /// Execute a program with tracing on and return the outcomes
+    /// together with the full [`QueryReport`] (span tree, counters,
+    /// per-statement stats). Installs a fresh subscriber for the
+    /// duration of the run, discarding any trace already in progress
+    /// on this thread.
+    pub fn profile(&mut self, src: &str) -> Result<(Vec<Outcome>, QueryReport), LangError> {
+        aql_trace::enable();
+        let result = self.run(src);
+        let trace = aql_trace::disable();
+        let outcomes = result?;
+        Ok((outcomes, QueryReport { statements: self.statement_stats(), trace }))
     }
 
     /// Evaluate a single query expression and return its type and value.
@@ -294,8 +462,25 @@ impl Session {
         }
     }
 
-    /// Run a statement.
+    /// Run a statement. Opens a root `statement` span (when tracing)
+    /// and records the statement's [`EvalStats`]: evaluation counters
+    /// merged over every evaluation it performs, with cache counters
+    /// taken as the statement-level delta of the store's global
+    /// aggregate — so reader I/O and echo-forced chunk loads are
+    /// attributed to the statement that caused them.
     pub fn exec(&mut self, stmt: &Stmt) -> Result<Outcome, LangError> {
+        let _span = aql_trace::span("statement");
+        aql_trace::note("kind", || stmt_label(stmt).to_string());
+        let cache_base = aql_store::stats::global();
+        self.cur_stats.set(EvalStats::default());
+        let out = self.exec_inner(stmt);
+        let mut st = self.cur_stats.take();
+        st.cache = aql_store::stats::global().delta_since(&cache_base);
+        self.stmt_stats.borrow_mut().push(st);
+        out
+    }
+
+    fn exec_inner(&mut self, stmt: &Stmt) -> Result<Outcome, LangError> {
         match stmt {
             Stmt::Val(vname, e) => {
                 let (ty, v) = self.eval_surface(e)?;
@@ -351,7 +536,11 @@ impl Session {
                     .ok_or_else(|| {
                         LangError::session(format!("no reader registered as `{reader}`"))
                     })?;
-                let (v, declared) = catch_extension("reader", reader, || r.read(&argv))??;
+                let (v, declared) = {
+                    let _span = aql_trace::span("readval");
+                    aql_trace::note("reader", || reader.clone());
+                    catch_extension("reader", reader, || r.read(&argv))??
+                };
                 let ty = declared
                     .or_else(|| type_of_value(&v))
                     .ok_or_else(|| {
@@ -382,7 +571,11 @@ impl Session {
                     .ok_or_else(|| {
                         LangError::session(format!("no writer registered as `{writer}`"))
                     })?;
-                catch_extension("writer", writer, || w.write(&argv, &v))??;
+                {
+                    let _span = aql_trace::span("writeval");
+                    aql_trace::note("writer", || writer.clone());
+                    catch_extension("writer", writer, || w.write(&argv, &v))??;
+                }
                 Ok(Outcome {
                     text: format!("val it = () written using {writer}."),
                     kind: OutcomeKind::Write,
@@ -396,15 +589,27 @@ impl Session {
     /// The expression pipeline: desugar → resolve → typecheck →
     /// optimize → evaluate.
     fn eval_surface(&self, e: &crate::ast::SExpr) -> Result<(Type, Value), LangError> {
-        let core = desugar(e)?;
+        let core = {
+            let _span = aql_trace::span("desugar");
+            desugar(e)?
+        };
         self.eval_core(&core)
     }
 
-    /// Run the pipeline from the core-calculus stage.
+    /// Run the pipeline from the core-calculus stage. Each phase runs
+    /// under its own trace span; evaluation stats are merged into the
+    /// current statement's accumulator.
     pub fn eval_core(&self, core: &Expr) -> Result<(Type, Value), LangError> {
-        let resolved = self.resolve(core);
-        let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
+        let resolved = {
+            let _span = aql_trace::span("resolve");
+            self.resolve(core)
+        };
+        let ty = {
+            let _span = aql_trace::span("typecheck");
+            typecheck(&resolved, &self.val_types, &self.externals)?
+        };
         let optimized = if self.optimize {
+            let _span = aql_trace::span("optimize");
             // Rules are extension code: a panicking rule is contained
             // and named, and the session stays usable.
             self.optimizer.try_optimize(&resolved).map_err(|p| {
@@ -418,8 +623,11 @@ impl Session {
             resolved
         };
         let ctx = EvalCtx::new(&self.vals, &self.externals).with_limits(self.limits.clone());
-        let v = eval(&optimized, &ctx);
-        self.last_stats.set(ctx.stats());
+        let v = {
+            let _span = aql_trace::span("eval");
+            eval(&optimized, &ctx)
+        };
+        self.cur_stats.set(self.cur_stats.get().merged(&ctx.stats()));
         let v = v.map_err(LangError::Eval)?;
         Ok((ty, v))
     }
@@ -557,6 +765,17 @@ impl Session {
 impl Default for Session {
     fn default() -> Self {
         Session::new()
+    }
+}
+
+/// The trace label for a statement's root span.
+fn stmt_label(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Val(..) => "val",
+        Stmt::MacroDef(..) => "macro",
+        Stmt::Query(..) => "query",
+        Stmt::ReadVal { .. } => "readval",
+        Stmt::WriteVal { .. } => "writeval",
     }
 }
 
@@ -846,6 +1065,66 @@ mod tests {
         s.run("val \\none = [[0; ]];").unwrap();
         let (_, v) = s.eval_query("nearest!(none, 1)").unwrap();
         assert!(v.is_bottom());
+    }
+
+    #[test]
+    fn stats_accumulate_across_statements() {
+        // Regression: `last_stats` used to be overwritten per
+        // evaluation, so a multi-statement run reported only the final
+        // statement's counters.
+        let mut s = Session::new();
+        s.run("val \\a = [[ i | \\i < 50 ]]; val \\b = [[ i | \\i < 50 ]];")
+            .unwrap();
+        let per_stmt = s.statement_stats();
+        assert_eq!(per_stmt.len(), 2);
+        assert!(per_stmt[0].steps > 0 && per_stmt[1].steps > 0);
+        let total = s.last_stats();
+        assert_eq!(total.steps, per_stmt[0].steps + per_stmt[1].steps);
+        assert!(
+            total.steps > per_stmt[1].steps,
+            "the total must include more than the final statement"
+        );
+        // A new run resets the per-statement vector.
+        s.run("1 + 1;").unwrap();
+        assert_eq!(s.statement_stats().len(), 1);
+        assert_eq!(s.last_report().statements.len(), 1);
+    }
+
+    #[test]
+    fn profile_traces_the_pipeline() {
+        let mut s = Session::new();
+        let (outcomes, report) = s.profile("val \\a = gen!20; summap(fn \\x => x)!a;").unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(report.statements.len(), 2);
+        // Two statement roots, each with the pipeline phases below.
+        let roots = report.trace.roots();
+        let root_names: Vec<&str> = roots
+            .iter()
+            .map(|&i| report.trace.spans[i].name.as_str())
+            .filter(|n| *n == "statement")
+            .collect();
+        assert_eq!(root_names.len(), 2, "{:?}", report.trace);
+        for name in ["parse", "desugar", "resolve", "typecheck", "optimize", "eval"] {
+            assert!(report.trace.find(name).is_some(), "span `{name}` missing");
+        }
+        // The evaluator's counters reached the trace, and agree with
+        // the stats vector.
+        assert_eq!(
+            report.trace.total_counter("eval.steps"),
+            report.total().steps,
+            "trace and stats must agree on steps"
+        );
+        // Tracing is off again after `profile`.
+        assert!(!aql_trace::enabled());
+    }
+
+    #[test]
+    fn query_report_round_trips_through_json() {
+        let mut s = Session::new();
+        let (_, report) = s.profile("[[ i * i | \\i < 10 ]][4];").unwrap();
+        let back = QueryReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!(QueryReport::from_json("{\"statements\":[]}").is_err());
     }
 
     #[test]

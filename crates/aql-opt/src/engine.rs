@@ -80,9 +80,48 @@ impl Trace {
         self.steps.is_empty()
     }
 
-    /// How many times a particular rule fired.
+    /// How many times a rule with this name fired, summed across
+    /// phases. Rule names are only unique *within* a phase — two
+    /// phases may register distinct rules under the same name — so
+    /// prefer [`Trace::count_in`] / [`Trace::fired`] when attributing
+    /// firings.
     pub fn count(&self, rule: &str) -> usize {
         self.steps.iter().filter(|s| s.rule == rule).count()
+    }
+
+    /// How many times the rule named `rule` fired *in phase* `phase`.
+    pub fn count_in(&self, phase: &str, rule: &str) -> usize {
+        self.steps.iter().filter(|s| s.phase == phase && s.rule == rule).count()
+    }
+
+    /// Fire counts keyed by `(phase, rule)`, in order of first firing.
+    /// The engine allows duplicate rule names across phases; this is
+    /// the unambiguous attribution.
+    pub fn fired(&self) -> Vec<((String, &'static str), usize)> {
+        let mut out: Vec<((String, &'static str), usize)> = Vec::new();
+        for s in &self.steps {
+            match out.iter_mut().find(|(k, _)| k.0 == s.phase && k.1 == s.rule) {
+                Some((_, n)) => *n += 1,
+                None => out.push(((s.phase.clone(), s.rule), 1)),
+            }
+        }
+        out
+    }
+
+    /// A rule-fire table (`phase`, `rule`, `fires` columns) in order
+    /// of first firing — the `\explain` rendering.
+    pub fn render_fire_table(&self) -> String {
+        use std::fmt::Write as _;
+        let fired = self.fired();
+        if fired.is_empty() {
+            return "  (no rule fired)\n".to_string();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "  {:<14} {:<24} {:>5}", "phase", "rule", "fires");
+        for ((phase, rule), n) in fired {
+            let _ = writeln!(out, "  {phase:<14} {rule:<24} {n:>5}");
+        }
+        out
     }
 
     /// A human-readable rendering of the trace.
@@ -136,12 +175,22 @@ impl Phase {
 
     /// Run the phase to a fixpoint, containing rule panics: a rule
     /// that panics aborts the phase with a [`RulePanic`] naming it.
+    ///
+    /// When `aql-trace` is collecting, the phase runs under an
+    /// `opt.phase` span annotated with its name; each full bottom-up
+    /// pass gets a timed `opt.pass` child span, and every rule firing
+    /// bumps a `fire:<phase>/<rule>` counter on the phase span.
     pub fn try_run(&self, e: &Expr, trace: Option<&mut Trace>) -> Result<Expr, RulePanic> {
+        let _phase_span = aql_trace::span("opt.phase");
+        aql_trace::note("phase", || self.name.clone());
         let mut cur = e.clone();
         let mut trace = trace;
         for _ in 0..self.max_passes {
+            let pass_span = aql_trace::span("opt.pass");
             let mut fired = 0usize;
             cur = self.pass(&cur, &mut fired, trace.as_deref_mut())?;
+            drop(pass_span);
+            aql_trace::count("opt.passes", 1);
             if fired == 0 {
                 break;
             }
@@ -172,6 +221,10 @@ impl Phase {
                             after: clip(&next),
                         });
                     }
+                    aql_trace::count_with(
+                        || format!("fire:{}/{}", self.name, r.name()),
+                        1,
+                    );
                     *fired += 1;
                     cur = next;
                     continue 'outer;
@@ -439,6 +492,81 @@ mod tests {
         // Must return; the exact result is unspecified but well-formed.
         let got = p.run(&e, None);
         assert!(got.size() == e.size());
+    }
+
+    /// A second rule deliberately registered under the SAME name as
+    /// `ZeroAdd` but in a different phase: folds `e * 1` to `e`.
+    struct MulOneSameName;
+    impl Rule for MulOneSameName {
+        fn name(&self) -> &'static str {
+            "zero-add" // duplicate across phases, intentionally
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            match e {
+                Expr::Arith(aql_core::expr::ArithOp::Mul, a, b) if **b == Expr::Nat(1) => {
+                    Some((**a).clone())
+                }
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn fired_keys_by_phase_and_rule() {
+        // Regression: `count` keyed by rule name alone conflates
+        // same-named rules living in different phases.
+        let mut p1 = Phase::new("normalize");
+        p1.add_rule(Rc::new(ZeroAdd));
+        let mut p2 = Phase::new("cleanup");
+        p2.add_rule(Rc::new(MulOneSameName));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p1);
+        opt.add_phase(p2);
+
+        // 0 + (x * 1): ZeroAdd fires once in `normalize`, the
+        // same-named MulOne fires once in `cleanup`.
+        let e = add(nat(0), mul(var("x"), nat(1)));
+        let (got, trace) = opt.optimize_traced(&e);
+        assert_eq!(got, var("x"));
+
+        // The name-only count conflates the two firings…
+        assert_eq!(trace.count("zero-add"), 2);
+        // …while the (phase, rule) key separates them.
+        assert_eq!(trace.count_in("normalize", "zero-add"), 1);
+        assert_eq!(trace.count_in("cleanup", "zero-add"), 1);
+        assert_eq!(trace.count_in("normalize", "nope"), 0);
+        assert_eq!(
+            trace.fired(),
+            vec![
+                (("normalize".to_string(), "zero-add"), 1),
+                (("cleanup".to_string(), "zero-add"), 1),
+            ]
+        );
+        let table = trace.render_fire_table();
+        assert!(table.contains("normalize"), "{table}");
+        assert!(table.contains("cleanup"), "{table}");
+    }
+
+    #[test]
+    fn phase_spans_and_fire_counters_reach_the_subscriber() {
+        let mut p = Phase::new("normalize");
+        p.add_rule(Rc::new(ZeroAdd));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        aql_trace::enable();
+        let got = opt.optimize(&add(nat(0), add(nat(0), var("x"))));
+        let t = aql_trace::disable();
+        assert_eq!(got, var("x"));
+        let phase = t.find("opt.phase").expect("phase span recorded");
+        assert_eq!(
+            phase.notes,
+            vec![("phase".to_string(), "normalize".to_string())]
+        );
+        // Two firings total, attributed to (phase, rule); at least two
+        // passes (one that fires, one that proves the fixpoint).
+        assert_eq!(t.total_counter("fire:normalize/zero-add"), 2);
+        assert!(t.total_counter("opt.passes") >= 2);
+        assert!(t.find("opt.pass").is_some(), "per-pass spans recorded");
     }
 
     #[test]

@@ -4,16 +4,23 @@
 //! Two access patterns — a single point probe and a contiguous subslab
 //! scan — each measured end-to-end (`readval` binding + query) under
 //! the eager driver and under the lazy driver at two cache budgets.
-//! Emits `BENCH_store.json` with wall time, bytes read off disk, and
-//! cache hit rate for each configuration.
+//! Emits `BENCH_store.json` with wall time, bytes read off disk, cache
+//! hit rate, and an embedded `QueryReport` (phase-timing spans plus
+//! I/O counters, collected on a separate profiled pass so the timed
+//! pass runs untraced) for each configuration.
 //!
 //! `cargo run -p aql-bench --release --bin store_bench`
+//!
+//! `--trace-overhead` instead measures the cost of the *disabled*
+//! instrumentation hooks against a traced run of the same workload and
+//! fails loudly if tracing-enabled wall time exceeds the untraced time
+//! by more than 5% (min-of-N, so scheduler noise doesn't flake it).
 
 use std::fmt::Write as _;
 use std::rc::Rc;
 use std::time::Instant;
 
-use aql_lang::session::Session;
+use aql_lang::session::{QueryReport, Session};
 use aql_netcdf::driver::NetcdfSlabReader;
 use aql_netcdf::format::VERSION_CLASSIC;
 use aql_netcdf::synth::year_temp_file;
@@ -34,6 +41,9 @@ struct Row {
     micros: u128,
     bytes_read: u64,
     hit_rate: Option<f64>,
+    /// `QueryReport::to_json` of a profiled (untimed) pass of the same
+    /// workload: the per-phase spans and counters behind the wall time.
+    report: String,
 }
 
 fn reader_eager() -> NetcdfSlabReader {
@@ -73,7 +83,25 @@ fn measure(path: &str, reader: &Config, pattern: &'static str, query: &str) -> R
     // traffic is one full materialization of the bound slab.
     let bytes_read =
         if reader.name == "eager" { FULL_BYTES } else { delta.bytes_read };
-    Row { config: reader.name, pattern, micros, bytes_read, hit_rate: delta.hit_rate() }
+
+    // A separate pass with tracing on yields the per-phase report; the
+    // timed pass above stays untraced.
+    let report = profile_report(path, reader, query).to_json();
+
+    Row { config: reader.name, pattern, micros, bytes_read, hit_rate: delta.hit_rate(), report }
+}
+
+/// Re-run the workload in a fresh session under `Session::profile` and
+/// return the full span/counter report.
+fn profile_report(path: &str, reader: &Config, query: &str) -> QueryReport {
+    let mut s = Session::new();
+    s.register_reader("NC", Rc::new((reader.reader)()));
+    s.run(&format!(
+        "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+    ))
+    .expect("bind");
+    let (_, report) = s.profile(&format!("{query};")).expect("profiled query");
+    report
 }
 
 fn json_escape_free(rows: &[Row]) -> String {
@@ -88,17 +116,80 @@ fn json_escape_free(rows: &[Row]) -> String {
         let _ = write!(
             out,
             "    {{\"config\": \"{}\", \"pattern\": \"{}\", \"wall_us\": {}, \
-             \"bytes_read\": {}, \"hit_rate\": {}}}{}\n",
+             \"bytes_read\": {}, \"hit_rate\": {}, \"report\": {}}}{}\n",
             r.config,
             r.pattern,
             r.micros,
             r.bytes_read,
             hr,
+            r.report,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// `--trace-overhead`: run the subslab-scan workload with tracing off
+/// and with tracing on (a full `Session::profile` per query, the worst
+/// realistic usage) and fail loudly if the traced wall time exceeds
+/// the untraced one by more than 5%. Min-of-N timing on both sides
+/// keeps scheduler noise from flaking the check; the cost of the
+/// *disabled* hooks is strictly below what this measures.
+fn trace_overhead_check(path: &str) {
+    const TRIALS: usize = 7;
+    const ITERS: usize = 40;
+    let query = "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }";
+
+    let make_session = || {
+        let mut s = Session::new();
+        s.register_reader("NC", Rc::new(reader_lazy_4m()));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+
+    let time_iters = |s: &mut Session, traced: bool| -> u128 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            if traced {
+                s.profile(&format!("{query};")).expect("traced query");
+            } else {
+                s.eval_query(query).expect("untraced query");
+            }
+        }
+        t0.elapsed().as_micros()
+    };
+
+    let mut s_off = make_session();
+    let mut s_on = make_session();
+    // Warm-up: chunk caches, file cache, branch predictors.
+    time_iters(&mut s_off, false);
+    time_iters(&mut s_on, true);
+
+    let mut best_off = u128::MAX;
+    let mut best_on = u128::MAX;
+    for _ in 0..TRIALS {
+        best_off = best_off.min(time_iters(&mut s_off, false));
+        best_on = best_on.min(time_iters(&mut s_on, true));
+    }
+
+    let ratio = best_on as f64 / best_off as f64;
+    println!(
+        "trace overhead: untraced {best_off}µs vs traced {best_on}µs \
+         (best of {TRIALS} × {ITERS} queries) — ratio {ratio:.4}"
+    );
+    // 5% relative plus a small absolute allowance so sub-millisecond
+    // jitter on a fast machine cannot flake the check.
+    assert!(
+        best_on as f64 <= best_off as f64 * 1.05 + 500.0,
+        "TRACE OVERHEAD BUDGET EXCEEDED: traced runs are {:.2}% slower \
+         than untraced (budget: 5%)",
+        (ratio - 1.0) * 100.0
+    );
+    println!("trace overhead within the 5% budget");
 }
 
 fn main() {
@@ -107,6 +198,12 @@ fn main() {
     let path = dir.join("temp.nc");
     write_file(&year_temp_file().expect("synth"), &path, VERSION_CLASSIC).expect("write");
     let path = path.to_str().expect("utf-8 path").to_string();
+
+    if std::env::args().any(|a| a == "--trace-overhead") {
+        trace_overhead_check(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
 
     let configs = [
         Config { name: "eager", reader: reader_eager },

@@ -147,8 +147,33 @@ impl Limits {
 pub struct EvalStats {
     /// Evaluation steps (AST node visits).
     pub steps: u64,
+    /// Array subscript operations performed.
+    pub subscripts: u64,
+    /// Elements admitted for materialization by `gen`, tabulation,
+    /// array literals, and `index` (the sites governed by
+    /// `Limits::max_elems`).
+    pub materialized: u64,
     /// Chunk-cache counters attributable to this evaluation.
     pub cache: aql_store::CacheStats,
+}
+
+impl EvalStats {
+    /// Component-wise sum (cache counters included). Used by sessions
+    /// that accumulate per-statement stats into a run total.
+    pub fn merged(&self, other: &EvalStats) -> EvalStats {
+        EvalStats {
+            steps: self.steps + other.steps,
+            subscripts: self.subscripts + other.subscripts,
+            materialized: self.materialized + other.materialized,
+            cache: aql_store::CacheStats {
+                hits: self.cache.hits + other.cache.hits,
+                misses: self.cache.misses + other.cache.misses,
+                evictions: self.cache.evictions + other.cache.evictions,
+                bytes_read: self.cache.bytes_read + other.cache.bytes_read,
+                load_errors: self.cache.load_errors + other.cache.load_errors,
+            },
+        }
+    }
 }
 
 /// Evaluation context: session `val` bindings, external primitives,
@@ -163,6 +188,8 @@ pub struct EvalCtx<'a> {
     /// Absolute deadline derived from `limits.timeout` at construction.
     deadline: Option<std::time::Instant>,
     steps: Cell<u64>,
+    subscripts: Cell<u64>,
+    materialized: Cell<u64>,
     /// Snapshot of the global chunk-cache counters at construction;
     /// [`EvalCtx::stats`] reports the delta since.
     cache_base: aql_store::CacheStats,
@@ -177,6 +204,8 @@ impl<'a> EvalCtx<'a> {
             limits: Limits::default(),
             deadline: None,
             steps: Cell::new(0),
+            subscripts: Cell::new(0),
+            materialized: Cell::new(0),
             cache_base: aql_store::stats::global(),
         }
     }
@@ -199,6 +228,8 @@ impl<'a> EvalCtx<'a> {
     pub fn stats(&self) -> EvalStats {
         EvalStats {
             steps: self.steps.get(),
+            subscripts: self.subscripts.get(),
+            materialized: self.materialized.get(),
             cache: aql_store::stats::global().delta_since(&self.cache_base),
         }
     }
@@ -236,14 +267,30 @@ impl<'a> EvalCtx<'a> {
         if requested > self.limits.max_elems {
             return Err(EvalError::ResourceLimit { requested, limit: self.limits.max_elems });
         }
+        // Every materialization site (gen / tabulation / array literal
+        // / index) passes through this budget check, so it doubles as
+        // the materialized-elements profile counter.
+        self.materialized.set(self.materialized.get() + requested);
         Ok(())
     }
 }
 
 /// Compile and evaluate a closed named expression.
+///
+/// When `aql-trace` is collecting, the evaluation's step, subscript,
+/// and materialization counters are flushed onto the innermost open
+/// span before returning (cache counters stream in live from
+/// `aql-store`).
 pub fn eval(e: &Expr, ctx: &EvalCtx) -> Result<Value, EvalError> {
     let c = compile(e)?;
-    eval_compiled(&c, &Env::empty(), ctx)
+    let out = eval_compiled(&c, &Env::empty(), ctx);
+    if aql_trace::enabled() {
+        let s = ctx.stats();
+        aql_trace::count("eval.steps", s.steps);
+        aql_trace::count("eval.subscripts", s.subscripts);
+        aql_trace::count("eval.materialized", s.materialized);
+    }
+    out
 }
 
 /// Evaluate with empty registries and default limits. Convenience for
@@ -509,6 +556,7 @@ pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalE
             )))
         }
         CExpr::Sub(arr, idx) => {
+            ctx.subscripts.set(ctx.subscripts.get() + 1);
             let va = strict!(eval_compiled(arr, env, ctx)?);
             let a = va.as_array()?;
             let indices: Vec<u64> = if idx.len() == 1 {

@@ -48,6 +48,9 @@ where
     S: IoSource,
     F: FnMut() -> Result<S, NcError>,
 {
+    let _span = aql_trace::span("netcdf.hyperslab");
+    aql_trace::count("netcdf.hyperslab_requests", 1);
+    aql_trace::note("var", || var.to_string());
     retry(|| {
         let mut reader = SlabReader::from_source(open()?)?;
         reader.read_slab(var, start, count)

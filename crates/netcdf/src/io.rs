@@ -196,15 +196,25 @@ pub const RETRY_ATTEMPTS: u32 = 3;
 /// attempts; non-transient errors propagate immediately. The final
 /// transient error (if attempts run out) is returned as-is, still
 /// carrying its message.
+/// Each fault observed bumps `netcdf.faults` and each retried attempt
+/// bumps `netcdf.retries` on the active `aql-trace` span, so a
+/// profiled query shows how much of its I/O time went to recovery.
 pub fn retry<T>(mut op: impl FnMut() -> Result<T, NcError>) -> Result<T, NcError> {
     let mut attempt = 0;
     loop {
         match op() {
             Err(e) if e.is_transient() && attempt + 1 < RETRY_ATTEMPTS => {
+                aql_trace::count("netcdf.faults", 1);
+                aql_trace::count("netcdf.retries", 1);
                 std::thread::sleep(Duration::from_millis(1u64 << attempt));
                 attempt += 1;
             }
-            other => return other,
+            other => {
+                if other.is_err() {
+                    aql_trace::count("netcdf.faults", 1);
+                }
+                return other;
+            }
         }
     }
 }

@@ -66,7 +66,10 @@ pub fn global() -> CacheStats {
     GLOBAL.with(|g| g.get())
 }
 
-/// Fold `delta` into the thread-local aggregate.
+/// Fold `delta` into the thread-local aggregate, and mirror it into
+/// the `aql-trace` subscriber (attached to the innermost open span)
+/// when tracing is enabled — so a profiled query's span tree carries
+/// the cache activity it caused without any cache handle plumbing.
 pub(crate) fn global_add(delta: CacheStats) {
     GLOBAL.with(|g| {
         let cur = g.get();
@@ -78,6 +81,13 @@ pub(crate) fn global_add(delta: CacheStats) {
             load_errors: cur.load_errors + delta.load_errors,
         });
     });
+    if aql_trace::enabled() {
+        aql_trace::count("cache.hits", delta.hits);
+        aql_trace::count("cache.misses", delta.misses);
+        aql_trace::count("cache.evictions", delta.evictions);
+        aql_trace::count("cache.bytes_read", delta.bytes_read);
+        aql_trace::count("cache.load_errors", delta.load_errors);
+    }
 }
 
 #[cfg(test)]

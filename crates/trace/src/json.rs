@@ -1,0 +1,471 @@
+//! Minimal dependency-free JSON: a value tree, a writer, and a strict
+//! parser — just enough for [`Trace`] and the session's
+//! `QueryReport` to round-trip machine-readably into the `BENCH_*.json`
+//! artifacts. Numbers are `f64` (every counter this crate emits fits
+//! exactly below 2⁵³); object member order is preserved.
+
+use crate::{SpanRec, Trace};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers exact up to 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, member order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(ms) => ms.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64` (requires an exact non-negative integer).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize (compact, no insignificant whitespace).
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    it.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(ms) => {
+                out.push('{');
+                for (i, (k, v)) in ms.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser { b: src.as_bytes(), i: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut ms = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(ms));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    self.ws();
+                    self.expect(b':')?;
+                    self.ws();
+                    let v = self.value()?;
+                    ms.push((k, v));
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(ms));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.b[self.i..])
+                .map_err(|_| "invalid utf-8".to_string())?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some((_, '"')) => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some((idx, c)) => {
+                    out.push(c);
+                    self.i += idx + c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+// ---- Trace <-> JSON --------------------------------------------------
+
+fn counters_to_json(cs: &[(String, u64)]) -> Json {
+    Json::Obj(cs.iter().map(|(k, v)| (k.clone(), Json::Num(*v as f64))).collect())
+}
+
+fn counters_from_json(j: &Json) -> Result<Vec<(String, u64)>, String> {
+    match j {
+        Json::Obj(ms) => ms
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("counter `{k}` is not a u64"))
+            })
+            .collect(),
+        _ => Err("counters must be an object".to_string()),
+    }
+}
+
+impl Trace {
+    /// The trace as a JSON value (see [`Trace::to_json`]).
+    pub fn to_json_value(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(s.name.clone())),
+                    (
+                        "parent".to_string(),
+                        s.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                    ),
+                    ("start_ns".to_string(), Json::Num(s.start_ns as f64)),
+                    (
+                        "dur_ns".to_string(),
+                        s.dur_ns.map_or(Json::Null, |d| Json::Num(d as f64)),
+                    ),
+                    ("counters".to_string(), counters_to_json(&s.counters)),
+                    (
+                        "notes".to_string(),
+                        Json::Obj(
+                            s.notes
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("spans".to_string(), Json::Arr(spans)),
+            ("counters".to_string(), counters_to_json(&self.counters)),
+        ])
+    }
+
+    /// Serialize the trace to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().write()
+    }
+
+    /// Rebuild a trace from a JSON value produced by
+    /// [`Trace::to_json_value`].
+    pub fn from_json_value(j: &Json) -> Result<Trace, String> {
+        let spans = j
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("trace: missing `spans` array")?
+            .iter()
+            .map(|s| {
+                Ok(SpanRec {
+                    name: s
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("span: missing name")?
+                        .to_string(),
+                    parent: match s.get("parent") {
+                        Some(Json::Null) | None => None,
+                        Some(p) => {
+                            Some(p.as_u64().ok_or("span: bad parent")? as usize)
+                        }
+                    },
+                    start_ns: s
+                        .get("start_ns")
+                        .and_then(Json::as_u64)
+                        .ok_or("span: bad start_ns")?,
+                    dur_ns: match s.get("dur_ns") {
+                        Some(Json::Null) | None => None,
+                        Some(d) => Some(d.as_u64().ok_or("span: bad dur_ns")?),
+                    },
+                    counters: counters_from_json(
+                        s.get("counters").unwrap_or(&Json::Obj(vec![])),
+                    )?,
+                    notes: match s.get("notes") {
+                        Some(Json::Obj(ms)) => ms
+                            .iter()
+                            .map(|(k, v)| {
+                                v.as_str()
+                                    .map(|s2| (k.clone(), s2.to_string()))
+                                    .ok_or_else(|| format!("note `{k}` is not a string"))
+                            })
+                            .collect::<Result<_, _>>()?,
+                        _ => Vec::new(),
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let counters =
+            counters_from_json(j.get("counters").unwrap_or(&Json::Obj(vec![])))?;
+        Ok(Trace { spans, counters })
+    }
+
+    /// Parse a trace serialized by [`Trace::to_json`].
+    pub fn from_json(src: &str) -> Result<Trace, String> {
+        Trace::from_json_value(&Json::parse(src)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for src in ["null", "true", "false", "0", "-12.5", "\"a\\\"b\\nc\""] {
+            let v = Json::parse(src).unwrap();
+            assert_eq!(Json::parse(&v.write()).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Json::parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].get("b").unwrap().as_str(),
+            Some("x")
+        );
+        assert_eq!(v.get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        crate::enable();
+        {
+            let _a = crate::span("statement");
+            crate::note("kind", || "query".to_string());
+            {
+                let _b = crate::span("eval");
+                crate::count("eval.steps", 12345);
+            }
+        }
+        crate::count("outside", 7);
+        let t = crate::disable();
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = Json::Str("µs — ‘quotes’ \"q\" \\".to_string());
+        assert_eq!(Json::parse(&v.write()).unwrap(), v);
+    }
+}

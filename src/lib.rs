@@ -2,7 +2,8 @@
 //!
 //! Re-exports the full AQL system: the NRCA core calculus
 //! ([`aql_core`]), the surface language and session ([`aql_lang`]),
-//! the optimizer ([`aql_opt`]) and the NetCDF driver ([`aql_netcdf`]).
+//! the optimizer ([`aql_opt`]), the NetCDF driver ([`aql_netcdf`])
+//! and the query-lifecycle tracer ([`aql_trace`]).
 //!
 //! This is a from-scratch Rust reproduction of *Libkin, Machlin &
 //! Wong, "A Query Language for Multidimensional Arrays: Design,
@@ -16,3 +17,4 @@ pub use aql_core as core;
 pub use aql_lang as lang;
 pub use aql_netcdf as netcdf;
 pub use aql_opt as opt;
+pub use aql_trace as trace;

@@ -1,0 +1,112 @@
+//! Acceptance: profiling a NETCDF-backed query surfaces the whole
+//! pipeline — the phase-timing tree includes `optimize` (with rule-fire
+//! counters) and `eval` (with chunk-cache hits/misses and bytes read) —
+//! and the same data round-trips through `QueryReport::to_json`. Also
+//! the regression for per-statement stats attribution: cache deltas of
+//! *non-final* statements in a multi-statement run are no longer lost.
+
+use aql::lang::session::{QueryReport, Session};
+use aql::netcdf::driver::register_netcdf;
+use aql::netcdf::format::VERSION_CLASSIC;
+use aql::netcdf::synth::year_temp_file;
+use aql::netcdf::write::write_file;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("aql-profile-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn profile_of_netcdf_query_shows_io_and_rules_and_round_trips() {
+    let dir = tmpdir("nc");
+    let path = dir.join("temp.nc");
+    write_file(&year_temp_file().unwrap(), &path, VERSION_CLASSIC).unwrap();
+    let p = path.to_str().unwrap();
+
+    let mut s = Session::new();
+    register_netcdf(&mut s);
+    s.run(&format!(
+        "readval \\T using NETCDF3 at (\"{p}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+    ))
+    .unwrap();
+
+    // A fresh session's cache is cold, so the probe must do real I/O.
+    let (outcomes, report) =
+        s.profile("max!{ T[i * 100, 2, 2] | \\i <- gen!10 };").unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(report.statements.len(), 1);
+
+    // Phase-timing tree: a statement root with optimize and eval
+    // children, the optimizer's per-phase spans below optimize.
+    let t = &report.trace;
+    assert!(t.find("statement").is_some());
+    for name in ["resolve", "typecheck", "optimize", "eval", "opt.phase", "opt.pass"] {
+        assert!(t.find(name).is_some(), "span `{name}` missing from {t:?}");
+    }
+    // The optimizer reported work (pass counters; rule fires appear as
+    // `fire:<phase>/<rule>` counters when any rule matches).
+    assert!(t.total_counter("opt.passes") > 0);
+
+    // The evaluator and the store reported work.
+    assert!(t.total_counter("eval.steps") > 0);
+    assert!(t.total_counter("eval.subscripts") >= 10, "10 point probes");
+    assert!(t.total_counter("cache.misses") > 0, "cold cache ⇒ misses");
+    assert!(t.total_counter("cache.bytes_read") > 0);
+    assert!(t.total_counter("netcdf.hyperslab_requests") > 0);
+    // ... and the trace agrees with the per-statement stats vector.
+    let total = report.total();
+    assert_eq!(t.total_counter("cache.bytes_read"), total.cache.bytes_read);
+    assert!(total.cache.misses > 0);
+
+    // Machine-readable export: the full report survives JSON.
+    let json = report.to_json();
+    let back = QueryReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.total().cache.bytes_read, total.cache.bytes_read);
+
+    // The rendered profile mentions the I/O counters, and its redacted
+    // form is stable across renders.
+    let rendered = report.render_profile(true);
+    assert!(rendered.contains("cache.bytes_read="), "{rendered}");
+    assert!(rendered.contains("eval (_)"), "{rendered}");
+    assert_eq!(rendered, back.render_profile(true));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn non_final_statements_keep_their_cache_deltas() {
+    let dir = tmpdir("multi");
+    let path = dir.join("temp.nc");
+    write_file(&year_temp_file().unwrap(), &path, VERSION_CLASSIC).unwrap();
+    let p = path.to_str().unwrap();
+
+    let mut s = Session::new();
+    register_netcdf(&mut s);
+    s.run(&format!(
+        "readval \\T using NETCDF3 at (\"{p}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+    ))
+    .unwrap();
+
+    // One run, two statements: the FIRST does the I/O (cold probe),
+    // the second is pure arithmetic. The old `last_stats` kept only
+    // the final statement and reported zero bytes for the run.
+    s.run("T[5000, 2, 2]; 1 + 1;").unwrap();
+    let per_stmt = s.statement_stats();
+    assert_eq!(per_stmt.len(), 2);
+    assert!(
+        per_stmt[0].cache.bytes_read > 0,
+        "the probe's I/O must be attributed to statement 0"
+    );
+    assert_eq!(
+        per_stmt[1].cache.bytes_read, 0,
+        "pure arithmetic does no chunk I/O"
+    );
+    assert!(
+        s.last_stats().cache.bytes_read >= per_stmt[0].cache.bytes_read,
+        "the run total must include the non-final statement's I/O"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

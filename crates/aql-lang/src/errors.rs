@@ -33,6 +33,18 @@ pub enum LangError {
     /// A session-level problem: unknown reader/writer, duplicate name,
     /// I/O failure, macro cycle, …
     Session(String),
+    /// The rewrite-soundness gate rejected an optimizer rule's output
+    /// (verify mode): the rewrite introduced an unbound variable,
+    /// produced an ill-formed term, or changed the query's type. The
+    /// query is aborted; the session remains usable.
+    Unsound {
+        /// The optimizer phase the rule belongs to.
+        phase: String,
+        /// The offending rule.
+        rule: String,
+        /// What the verifier objected to.
+        message: String,
+    },
     /// An untrusted extension (reader, writer, or optimizer rule)
     /// panicked. The panic was caught at the session boundary; the
     /// session remains usable.
@@ -91,6 +103,12 @@ impl fmt::Display for LangError {
             LangError::Type(e) => write!(f, "type error: {e}"),
             LangError::Eval(e) => write!(f, "evaluation error: {e}"),
             LangError::Session(m) => write!(f, "session error: {m}"),
+            LangError::Unsound { phase, rule, message } => {
+                write!(
+                    f,
+                    "unsound rewrite by rule `{rule}` (phase `{phase}`): {message}"
+                )
+            }
             LangError::ExtensionPanic { kind, name, message } => {
                 write!(f, "{kind} `{name}` panicked: {message}")
             }

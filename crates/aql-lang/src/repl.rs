@@ -71,6 +71,17 @@ pub fn run_repl(
             pending.clear();
             continue;
         }
+        // `\lint <query>;` typechecks the query and reports the
+        // aql-verify shape/bounds lints without evaluating it.
+        if let Some(q) = trimmed_stmt.strip_prefix("\\lint ") {
+            let q = q.trim_end().trim_end_matches(';');
+            match session.lint(q) {
+                Ok(report) => write!(output, "{}", report.render())?,
+                Err(e) => writeln!(output, "error: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
         // `\profile <statements>` runs the statements with tracing on
         // and prints the phase-timing tree plus evaluation/I/O totals
         // after the usual echoes.
@@ -263,6 +274,47 @@ mod tests {
         assert!(text.contains("totals: steps="), "{text}");
         // Golden: after redaction the transcript is deterministic.
         assert_eq!(text, redacted_transcript(input));
+    }
+
+    #[test]
+    fn backslash_lint_reports_findings() {
+        // A provably out-of-bounds subscript (L001), rendered with the
+        // stable code, then a clean query, then an ill-typed one.
+        let input = "\\lint [[ i | \\i < 10 ]][12];\n\
+                     \\lint [[ i | \\i < 10 ]][3];\n\
+                     \\lint 1 + true;\n";
+        let text = redacted_transcript(input);
+        assert!(text.contains("typ  : nat"), "{text}");
+        assert!(
+            text.contains("lint : L001 warning: subscript along dimension 1"),
+            "{text}"
+        );
+        assert!(text.contains("always evaluates to bottom"), "{text}");
+        assert!(text.contains("lint : no findings"), "{text}");
+        assert!(text.contains("error: type error"), "{text}");
+        // Golden: lint output is deterministic across fresh sessions.
+        assert_eq!(text, redacted_transcript(input));
+    }
+
+    #[test]
+    fn backslash_lint_flags_dead_branches_and_zero_extents() {
+        let text = redacted_transcript(
+            "\\lint if bottom then 1 else 2;\n\\lint [[ i | \\i < 0 ]];\n",
+        );
+        assert!(
+            text.contains("lint : L003 warning: `if` condition is the literal bottom"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lint : L002 warning: tabulation bound 1 is constantly zero"),
+            "{text}"
+        );
+        assert_eq!(
+            text,
+            redacted_transcript(
+                "\\lint if bottom then 1 else 2;\n\\lint [[ i | \\i < 0 ]];\n"
+            )
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ use aql_core::types::Type;
 use aql_core::value::print::session_string;
 use aql_core::value::tyof::type_of_value;
 use aql_core::value::Value;
-use aql_opt::Optimizer;
+use aql_opt::{Gate, OptError, Optimizer};
+use aql_verify::Diagnostic;
 
 use crate::ast::Stmt;
 use crate::desugar::desugar;
@@ -300,6 +301,14 @@ pub struct Session {
     /// Whether the optimizer runs (on by default; benches turn it off
     /// to measure the unoptimized pipeline).
     pub optimize: bool,
+    /// Whether the rewrite-soundness gate runs during optimization:
+    /// every rule firing is locally verified
+    /// ([`aql_verify::check_rewrite`]) and each phase that rewrote
+    /// anything is re-typechecked against the query's original type.
+    /// Defaults to on in debug builds and off in release; the
+    /// `AQL_VERIFY` environment variable overrides (`0`/`false`/`off`
+    /// disable, anything else enables).
+    pub verify: bool,
     /// Truncation width for session echoes of large values.
     pub display_limit: usize,
     /// Accumulator for the statement currently executing: every
@@ -336,6 +345,7 @@ impl Session {
             optimizer: aql_opt::standard(),
             limits: Limits::default(),
             optimize: true,
+            verify: default_verify(),
             display_limit: aql_core::value::print::SESSION_TRUNCATE,
             cur_stats: Cell::new(EvalStats::default()),
             stmt_stats: RefCell::new(Vec::new()),
@@ -610,15 +620,16 @@ impl Session {
         };
         let optimized = if self.optimize {
             let _span = aql_trace::span("optimize");
-            // Rules are extension code: a panicking rule is contained
-            // and named, and the session stays usable.
-            self.optimizer.try_optimize(&resolved).map_err(|p| {
-                LangError::extension_panic(
-                    "optimizer rule",
-                    p.rule,
-                    format!("{} (phase `{}`)", p.message, p.phase),
-                )
-            })?
+            if self.verify {
+                let check = self.phase_check(&ty);
+                self.optimizer
+                    .try_optimize_verified(&resolved, &Gate::full(&check))
+                    .map_err(opt_error)?
+            } else {
+                // Rules are extension code: a panicking rule is
+                // contained and named, and the session stays usable.
+                self.optimizer.try_optimize(&resolved).map_err(rule_panic)?
+            }
         } else {
             resolved
         };
@@ -630,6 +641,22 @@ impl Session {
         self.cur_stats.set(self.cur_stats.get().merged(&ctx.stats()));
         let v = v.map_err(LangError::Eval)?;
         Ok((ty, v))
+    }
+
+    /// The phase-boundary half of the soundness gate: re-typecheck the
+    /// whole term in the session environment and require the query's
+    /// type to be preserved (up to inference-variable numbering).
+    fn phase_check(&self, expected: &Type) -> impl Fn(&Expr) -> Result<(), String> + '_ {
+        let expected = expected.clone();
+        move |e2: &Expr| {
+            let t2 = typecheck(e2, &self.val_types, &self.externals)
+                .map_err(|err| format!("optimized term no longer typechecks: {err}"))?;
+            if aql_verify::type_compatible(&expected, &t2) {
+                Ok(())
+            } else {
+                Err(format!("query type changed: {expected} ~> {t2}"))
+            }
+        }
     }
 
     /// Resolve free names: macros are substituted (their bodies are
@@ -750,21 +777,96 @@ impl Session {
         let core = desugar(&surface)?;
         let resolved = self.resolve(&core);
         let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
-        let (optimized, trace) =
-            self.optimizer.try_optimize_traced(&resolved).map_err(|p| {
-                LangError::extension_panic(
-                    "optimizer rule",
-                    p.rule,
-                    format!("{} (phase `{}`)", p.message, p.phase),
-                )
-            })?;
+        let (optimized, trace) = if self.verify {
+            let check = self.phase_check(&ty);
+            self.optimizer
+                .try_optimize_traced_verified(&resolved, &Gate::full(&check))
+                .map_err(opt_error)?
+        } else {
+            self.optimizer.try_optimize_traced(&resolved).map_err(rule_panic)?
+        };
         Ok(Explain { ty, core: resolved, optimized, trace })
+    }
+
+    /// Statically analyse a query without evaluating it: run the
+    /// pipeline through typechecking, then the `aql-verify`
+    /// shape/bounds lints (provable out-of-bounds subscripts,
+    /// zero-extent dimensions, dead conditional branches). The REPL's
+    /// `\lint` meta-command renders the result.
+    pub fn lint(&self, query: &str) -> Result<LintReport, LangError> {
+        let surface = crate::parser::parse_expr(query)?;
+        let core = desugar(&surface)?;
+        let resolved = self.resolve(&core);
+        let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
+        let diagnostics = aql_verify::lint_expr(&resolved);
+        Ok(LintReport { ty, diagnostics })
     }
 }
 
 impl Default for Session {
     fn default() -> Self {
         Session::new()
+    }
+}
+
+/// The result of [`Session::lint`]: the query's type plus every
+/// shape/bounds finding (all warnings; errors would have failed
+/// typechecking first).
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// The query's type.
+    pub ty: Type,
+    /// Lint findings in traversal order (empty when the query is
+    /// clean).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// The REPL rendering: the type line followed by one line per
+    /// finding, or a "no findings" note.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("typ  : {}\n", self.ty);
+        if self.diagnostics.is_empty() {
+            out.push_str("lint : no findings\n");
+        } else {
+            for d in &self.diagnostics {
+                let _ = writeln!(out, "lint : {d}");
+            }
+        }
+        out
+    }
+}
+
+/// The default for [`Session::verify`]: the `AQL_VERIFY` environment
+/// variable when set (`0`/`false`/`off`/empty disable), otherwise on
+/// exactly in debug builds — tests and development runs gate every
+/// rewrite, the release hot path pays nothing.
+fn default_verify() -> bool {
+    match std::env::var("AQL_VERIFY") {
+        Ok(v) => !matches!(v.as_str(), "0" | "false" | "off" | ""),
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// Map a contained rule panic to the session error space.
+fn rule_panic(p: aql_opt::RulePanic) -> LangError {
+    LangError::extension_panic(
+        "optimizer rule",
+        p.rule,
+        format!("{} (phase `{}`)", p.message, p.phase),
+    )
+}
+
+/// Map a verified-optimizer failure to the session error space.
+fn opt_error(e: OptError) -> LangError {
+    match e {
+        OptError::Panic(p) => rule_panic(p),
+        OptError::Unsound(v) => LangError::Unsound {
+            phase: v.phase,
+            rule: v.rule.to_string(),
+            message: v.message,
+        },
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::rc::Rc;
 
-use aql_core::expr::Expr;
+use aql_core::expr::{Expr, Name};
 
 /// A rewrite rule. `apply` inspects only the *root* of the given
 /// expression and returns the replacement if the rule fires; the
@@ -48,6 +48,101 @@ impl std::fmt::Display for RulePanic {
 }
 
 impl std::error::Error for RulePanic {}
+
+/// A rule application failed the soundness gate: the rewrite
+/// introduced an unbound variable, produced an ill-formed term, or
+/// changed the term's type. Attribution is exact for per-fire checks
+/// (the rule that just fired) and best-effort for phase-boundary
+/// checks (the last rule that fired in the phase).
+#[derive(Debug, Clone)]
+pub struct SoundnessViolation {
+    /// The phase the offending rule belongs to.
+    pub phase: String,
+    /// The rule whose rewrite failed verification.
+    pub rule: &'static str,
+    /// What the verifier objected to.
+    pub message: String,
+}
+
+impl std::fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unsound rewrite by rule `{}` (phase `{}`): {}",
+            self.rule, self.phase, self.message
+        )
+    }
+}
+
+impl std::error::Error for SoundnessViolation {}
+
+/// Why a verified optimizer run aborted.
+#[derive(Debug, Clone)]
+pub enum OptError {
+    /// A rule panicked (see [`RulePanic`]).
+    Panic(RulePanic),
+    /// A rewrite failed the soundness gate.
+    Unsound(SoundnessViolation),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::Panic(p) => p.fmt(f),
+            OptError::Unsound(v) => v.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<RulePanic> for OptError {
+    fn from(p: RulePanic) -> OptError {
+        OptError::Panic(p)
+    }
+}
+
+/// The rewrite-soundness gate configuration.
+///
+/// Two levels, both optional:
+///
+/// * **per-fire** — after every rule application, run
+///   [`aql_verify::check_rewrite`] on the redex/contractum pair with
+///   the binders in scope at the rewrite site. Catches scope escapes
+///   and local type changes the moment they happen, with exact
+///   `(phase, rule)` attribution.
+/// * **phase boundary** — a caller-supplied whole-term check (the
+///   session passes its full typechecker here) run once after each
+///   phase in which at least one rule fired. Catches global
+///   violations the local lattice cannot see; attribution falls back
+///   to the last rule that fired in the phase.
+pub struct Gate<'a> {
+    /// Run the local check after every rule firing.
+    pub per_fire: bool,
+    /// Whole-term check run after each phase that rewrote anything.
+    pub phase_check: Option<&'a PhaseCheck<'a>>,
+}
+
+/// A whole-term phase-boundary check: `Err` carries the verifier's
+/// objection.
+pub type PhaseCheck<'a> = dyn Fn(&Expr) -> Result<(), String> + 'a;
+
+impl<'a> Gate<'a> {
+    /// No checking (the release-mode hot path).
+    pub fn off() -> Gate<'static> {
+        Gate { per_fire: false, phase_check: None }
+    }
+
+    /// Per-fire local checks only.
+    pub fn local() -> Gate<'static> {
+        Gate { per_fire: true, phase_check: None }
+    }
+
+    /// Per-fire local checks plus a phase-boundary whole-term check.
+    pub fn full(check: &'a PhaseCheck<'a>) -> Gate<'a> {
+        Gate { per_fire: true, phase_check: Some(check) }
+    }
+}
 
 /// One step of a rewrite, recorded when tracing.
 #[derive(Debug, Clone)]
@@ -170,7 +265,7 @@ impl Phase {
     /// Run the phase to a fixpoint. A panicking rule propagates the
     /// panic; use [`Phase::try_run`] to contain untrusted rules.
     pub fn run(&self, e: &Expr, trace: Option<&mut Trace>) -> Expr {
-        self.try_run(e, trace).unwrap_or_else(|p| panic!("{p}"))
+        self.try_run(e, trace).unwrap_or_else(|p| panic!("{p}")) // lint-wall: allow
     }
 
     /// Run the phase to a fixpoint, containing rule panics: a rule
@@ -181,38 +276,92 @@ impl Phase {
     /// pass gets a timed `opt.pass` child span, and every rule firing
     /// bumps a `fire:<phase>/<rule>` counter on the phase span.
     pub fn try_run(&self, e: &Expr, trace: Option<&mut Trace>) -> Result<Expr, RulePanic> {
+        match self.try_run_verified(e, trace, &Gate::off()) {
+            Ok(x) => Ok(x),
+            Err(OptError::Panic(p)) => Err(p),
+            Err(OptError::Unsound(v)) => unreachable!("gate is off: {v}"),
+        }
+    }
+
+    /// Run the phase to a fixpoint under a soundness [`Gate`]: every
+    /// rule firing is checked per `gate.per_fire`, and `gate.phase_check`
+    /// (if any) runs on the result when at least one rule fired.
+    pub fn try_run_verified(
+        &self,
+        e: &Expr,
+        trace: Option<&mut Trace>,
+        gate: &Gate<'_>,
+    ) -> Result<Expr, OptError> {
         let _phase_span = aql_trace::span("opt.phase");
         aql_trace::note("phase", || self.name.clone());
         let mut cur = e.clone();
         let mut trace = trace;
+        let mut last_fired: Option<&'static str> = None;
         for _ in 0..self.max_passes {
             let pass_span = aql_trace::span("opt.pass");
             let mut fired = 0usize;
-            cur = self.pass(&cur, &mut fired, trace.as_deref_mut())?;
+            let mut scope: Vec<Name> = Vec::new();
+            cur = self.pass(
+                &cur,
+                &mut fired,
+                trace.as_deref_mut(),
+                &mut scope,
+                gate,
+                &mut last_fired,
+            )?;
             drop(pass_span);
             aql_trace::count("opt.passes", 1);
             if fired == 0 {
                 break;
             }
         }
+        if let (Some(check), Some(rule)) = (gate.phase_check, last_fired) {
+            if let Err(message) = check(&cur) {
+                aql_trace::count_with(|| format!("unsound:{}/{rule}", self.name), 1);
+                return Err(OptError::Unsound(SoundnessViolation {
+                    phase: self.name.clone(),
+                    rule,
+                    message: format!("phase-boundary check failed: {message}"),
+                }));
+            }
+        }
         Ok(cur)
     }
 
-    /// One bottom-up pass: rewrite children first, then apply rules at
-    /// this node until none fires (bounded).
+    /// One bottom-up pass: rewrite children first (tracking the binders
+    /// in scope so the gate can verify rewrites of open subterms), then
+    /// apply rules at this node until none fires (bounded).
     fn pass(
         &self,
         e: &Expr,
         fired: &mut usize,
         mut trace: Option<&mut Trace>,
-    ) -> Result<Expr, RulePanic> {
-        let rebuilt = try_map_children(e, |c| self.pass(c, fired, trace.as_deref_mut()))?;
+        scope: &mut Vec<Name>,
+        gate: &Gate<'_>,
+        last_fired: &mut Option<&'static str>,
+    ) -> Result<Expr, OptError> {
+        let rebuilt = try_map_children_scoped(e, scope, &mut |c, scope| {
+            self.pass(c, fired, trace.as_deref_mut(), scope, gate, last_fired)
+        })?;
         let mut cur = rebuilt;
         // Re-apply at the root while rules fire; a small bound keeps a
         // misbehaving user rule from looping forever.
         'outer: for _ in 0..32 {
             for r in &self.rules {
                 if let Some(next) = self.apply_checked(r, &cur)? {
+                    if gate.per_fire {
+                        if let Err(message) = aql_verify::check_rewrite(&cur, &next, scope) {
+                            aql_trace::count_with(
+                                || format!("unsound:{}/{}", self.name, r.name()),
+                                1,
+                            );
+                            return Err(OptError::Unsound(SoundnessViolation {
+                                phase: self.name.clone(),
+                                rule: r.name(),
+                                message,
+                            }));
+                        }
+                    }
                     if let Some(t) = trace.as_deref_mut() {
                         t.steps.push(TraceStep {
                             phase: self.name.clone(),
@@ -226,6 +375,7 @@ impl Phase {
                         1,
                     );
                     *fired += 1;
+                    *last_fired = Some(r.name());
                     cur = next;
                     continue 'outer;
                 }
@@ -234,6 +384,7 @@ impl Phase {
         }
         Ok(cur)
     }
+
 
     /// Apply one rule with a panic guard: rules are extension code, so
     /// a panic inside `apply` must not take down the host.
@@ -278,7 +429,7 @@ impl Optimizer {
     /// Optimize an expression. A panicking rule propagates the panic;
     /// hosts running untrusted rules use [`Optimizer::try_optimize`].
     pub fn optimize(&self, e: &Expr) -> Expr {
-        self.try_optimize(e).unwrap_or_else(|p| panic!("{p}"))
+        self.try_optimize(e).unwrap_or_else(|p| panic!("{p}")) // lint-wall: allow
     }
 
     /// Optimize, containing rule panics as [`RulePanic`] errors.
@@ -290,11 +441,35 @@ impl Optimizer {
         Ok(cur)
     }
 
+    /// Optimize under a soundness [`Gate`]: rule panics and gate
+    /// violations both abort, the latter attributed to `(phase, rule)`.
+    pub fn try_optimize_verified(&self, e: &Expr, gate: &Gate<'_>) -> Result<Expr, OptError> {
+        let mut cur = e.clone();
+        for p in &self.phases {
+            cur = p.try_run_verified(&cur, None, gate)?;
+        }
+        Ok(cur)
+    }
+
+    /// Traced optimization under a soundness [`Gate`].
+    pub fn try_optimize_traced_verified(
+        &self,
+        e: &Expr,
+        gate: &Gate<'_>,
+    ) -> Result<(Expr, Trace), OptError> {
+        let mut trace = Trace::default();
+        let mut cur = e.clone();
+        for p in &self.phases {
+            cur = p.try_run_verified(&cur, Some(&mut trace), gate)?;
+        }
+        Ok((cur, trace))
+    }
+
     /// Optimize and record every rule firing.
     pub fn optimize_traced(&self, e: &Expr) -> (Expr, Trace) {
         let (cur, trace) = self
             .try_optimize_traced(e)
-            .unwrap_or_else(|p| panic!("{p}"));
+            .unwrap_or_else(|p| panic!("{p}")); // lint-wall: allow
         (cur, trace)
     }
 
@@ -332,6 +507,131 @@ pub fn try_map_children<E>(
     match err {
         Some(e2) => Err(e2),
         None => Ok(rebuilt),
+    }
+}
+
+/// The fallible callback of [`try_map_children_scoped`].
+pub type ScopedTryMapFn<'a, E> = &'a mut dyn FnMut(&Expr, &mut Vec<Name>) -> Result<Expr, E>;
+
+/// Scope-aware variant of [`try_map_children`]: `f` receives each
+/// immediate child together with the binder stack extended by exactly
+/// the binders that child sits under, mirroring the scoping rules of
+/// Fig. 1 (a `Tab`'s bounds do *not* see its index variables; a
+/// `Let`'s bound expression does not see its own binder). `scope` is
+/// restored before returning.
+pub fn try_map_children_scoped<E>(
+    e: &Expr,
+    scope: &mut Vec<Name>,
+    f: ScopedTryMapFn<'_, E>,
+) -> Result<Expr, E> {
+    let mut err = None;
+    let rebuilt = map_children_scoped(e, scope, &mut |c, scope| {
+        if err.is_some() {
+            return c.clone();
+        }
+        match f(c, scope) {
+            Ok(x) => x,
+            Err(e2) => {
+                err = Some(e2);
+                c.clone()
+            }
+        }
+    });
+    match err {
+        Some(e2) => Err(e2),
+        None => Ok(rebuilt),
+    }
+}
+
+/// Infallible scope-aware child map (see [`try_map_children_scoped`]
+/// for the binder conventions).
+pub fn map_children_scoped(
+    e: &Expr,
+    scope: &mut Vec<Name>,
+    f: &mut dyn FnMut(&Expr, &mut Vec<Name>) -> Expr,
+) -> Expr {
+    use Expr::*;
+    // Apply `f` under extra binders, restoring the scope afterwards.
+    fn under(
+        xs: &[&Name],
+        c: &Expr,
+        scope: &mut Vec<Name>,
+        f: &mut dyn FnMut(&Expr, &mut Vec<Name>) -> Expr,
+    ) -> Expr {
+        for x in xs {
+            scope.push((*x).clone());
+        }
+        let r = f(c, scope);
+        scope.truncate(scope.len() - xs.len());
+        r
+    }
+    match e {
+        Var(_) | Global(_) | Ext(_) | Empty | BagEmpty | Bool(_) | Nat(_) | Real(_)
+        | Str(_) | Bottom => e.clone(),
+        Lam(x, b) => Lam(x.clone(), under(&[x], b, scope, f).boxed()),
+        App(a, b) => App(f(a, scope).boxed(), f(b, scope).boxed()),
+        Let(x, a, b) => {
+            Let(x.clone(), f(a, scope).boxed(), under(&[x], b, scope, f).boxed())
+        }
+        Tuple(es) => Tuple(es.iter().map(|c| f(c, scope)).collect()),
+        Proj(i, k, a) => Proj(*i, *k, f(a, scope).boxed()),
+        Single(a) => Single(f(a, scope).boxed()),
+        Union(a, b) => Union(f(a, scope).boxed(), f(b, scope).boxed()),
+        BigUnion { head, var, src } => BigUnion {
+            src: f(src, scope).boxed(),
+            head: under(&[var], head, scope, f).boxed(),
+            var: var.clone(),
+        },
+        BigUnionRank { head, var, rank, src } => BigUnionRank {
+            src: f(src, scope).boxed(),
+            head: under(&[var, rank], head, scope, f).boxed(),
+            var: var.clone(),
+            rank: rank.clone(),
+        },
+        BagSingle(a) => BagSingle(f(a, scope).boxed()),
+        BagUnion(a, b) => BagUnion(f(a, scope).boxed(), f(b, scope).boxed()),
+        BigBagUnion { head, var, src } => BigBagUnion {
+            src: f(src, scope).boxed(),
+            head: under(&[var], head, scope, f).boxed(),
+            var: var.clone(),
+        },
+        BigBagUnionRank { head, var, rank, src } => BigBagUnionRank {
+            src: f(src, scope).boxed(),
+            head: under(&[var, rank], head, scope, f).boxed(),
+            var: var.clone(),
+            rank: rank.clone(),
+        },
+        If(c, t, e2) => If(
+            f(c, scope).boxed(),
+            f(t, scope).boxed(),
+            f(e2, scope).boxed(),
+        ),
+        Cmp(op, a, b) => Cmp(*op, f(a, scope).boxed(), f(b, scope).boxed()),
+        Arith(op, a, b) => Arith(*op, f(a, scope).boxed(), f(b, scope).boxed()),
+        Gen(a) => Gen(f(a, scope).boxed()),
+        Sum { head, var, src } => Sum {
+            src: f(src, scope).boxed(),
+            head: under(&[var], head, scope, f).boxed(),
+            var: var.clone(),
+        },
+        Tab { head, idx } => {
+            let idx2: Vec<(Name, Expr)> =
+                idx.iter().map(|(n, b)| (n.clone(), f(b, scope))).collect();
+            let names: Vec<&Name> = idx.iter().map(|(n, _)| n).collect();
+            Tab { head: under(&names, head, scope, f).boxed(), idx: idx2 }
+        }
+        Sub(a, ix) => Sub(
+            f(a, scope).boxed(),
+            ix.iter().map(|c| f(c, scope)).collect(),
+        ),
+        Dim(k, a) => Dim(*k, f(a, scope).boxed()),
+        ArrayLit { dims, items } => ArrayLit {
+            dims: dims.iter().map(|c| f(c, scope)).collect(),
+            items: items.iter().map(|c| f(c, scope)).collect(),
+        },
+        Index(k, a) => Index(*k, f(a, scope).boxed()),
+        Get(a) => Get(f(a, scope).boxed()),
+        Prim(p, es) => Prim(*p, es.iter().map(|c| f(c, scope)).collect()),
     }
 }
 
@@ -567,6 +867,118 @@ mod tests {
         assert_eq!(t.total_counter("fire:normalize/zero-add"), 2);
         assert!(t.total_counter("opt.passes") >= 2);
         assert!(t.find("opt.pass").is_some(), "per-pass spans recorded");
+    }
+
+    /// A deliberately unsound rule: rewrites the literal `7` to
+    /// `true`, changing the redex's type.
+    struct EvilTypeChange;
+    impl Rule for EvilTypeChange {
+        fn name(&self) -> &'static str {
+            "evil-type-change"
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            (*e == Expr::Nat(7)).then_some(Expr::Bool(true))
+        }
+    }
+
+    /// An unsound rule that leaks a variable no binder introduces.
+    struct EvilGhostVar;
+    impl Rule for EvilGhostVar {
+        fn name(&self) -> &'static str {
+            "evil-ghost-var"
+        }
+        fn apply(&self, e: &Expr) -> Option<Expr> {
+            (*e == Expr::Nat(1)).then(|| var("ghost"))
+        }
+    }
+
+    #[test]
+    fn gate_catches_type_changing_rewrite() {
+        let mut p = Phase::new("normalize");
+        p.add_rule(Rc::new(EvilTypeChange));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        // Off: the bad rewrite sails through.
+        assert_eq!(
+            opt.try_optimize_verified(&add(nat(7), nat(0)), &Gate::off())
+                .expect("gate off"),
+            add(Expr::Bool(true), nat(0))
+        );
+        // Local gate: caught and attributed to (phase, rule).
+        let err = opt
+            .try_optimize_verified(&add(nat(7), nat(0)), &Gate::local())
+            .expect_err("gate must reject");
+        let OptError::Unsound(v) = err else {
+            panic!("expected Unsound, got {err}");
+        };
+        assert_eq!(v.phase, "normalize");
+        assert_eq!(v.rule, "evil-type-change");
+        assert!(v.message.contains("type"), "{}", v.message);
+        assert!(v.to_string().contains("evil-type-change"), "{v}");
+    }
+
+    #[test]
+    fn gate_catches_scope_escape_under_binders() {
+        let mut p = Phase::new("normalize");
+        p.add_rule(Rc::new(EvilGhostVar));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        // The redex sits under a λ-binder: the gate's scope tracking
+        // must allow `x` but still reject `ghost`.
+        let e = lam("x", add(var("x"), nat(1)));
+        let err = opt
+            .try_optimize_verified(&e, &Gate::local())
+            .expect_err("ghost variable must be rejected");
+        let OptError::Unsound(v) = err else {
+            panic!("expected Unsound, got {err}");
+        };
+        assert_eq!((v.phase.as_str(), v.rule), ("normalize", "evil-ghost-var"));
+        assert!(v.message.contains("ghost"), "{}", v.message);
+    }
+
+    #[test]
+    fn sound_rules_pass_the_gate() {
+        let mut p = Phase::new("normalize");
+        p.add_rule(Rc::new(ZeroAdd));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        // Rewrites under binders (λ, tabulation) with free occurrences
+        // of the bound variables: the gate must not false-positive.
+        let e = lam("x", add(nat(0), var("x")));
+        let got = opt
+            .try_optimize_verified(&e, &Gate::local())
+            .expect("sound rewrite passes");
+        assert_eq!(got, lam("x", var("x")));
+        let e = tab1("i", nat(4), add(nat(0), mul(var("i"), var("i"))));
+        let (got, trace) = opt
+            .try_optimize_traced_verified(&e, &Gate::local())
+            .expect("sound rewrite passes");
+        assert_eq!(got, tab1("i", nat(4), mul(var("i"), var("i"))));
+        assert_eq!(trace.count_in("normalize", "zero-add"), 1);
+    }
+
+    #[test]
+    fn phase_boundary_check_runs_after_firing_phases() {
+        let mut p = Phase::new("normalize");
+        p.add_rule(Rc::new(ZeroAdd));
+        let mut opt = Optimizer::empty();
+        opt.add_phase(p);
+        // A check that rejects everything: only consulted when a rule
+        // fired, and attributed to the last firing rule.
+        let reject = |_: &Expr| -> Result<(), String> { Err("nope".into()) };
+        let gate = Gate::full(&reject);
+        // No redex → no firing → the check never runs.
+        opt.try_optimize_verified(&var("x"), &gate)
+            .expect("no firing, no phase check");
+        // A firing phase consults the check.
+        let err = opt
+            .try_optimize_verified(&add(nat(0), var("x")), &gate)
+            .expect_err("phase check must reject");
+        let OptError::Unsound(v) = err else {
+            panic!("expected Unsound, got {err}");
+        };
+        assert_eq!((v.phase.as_str(), v.rule), ("normalize", "zero-add"));
+        assert!(v.message.contains("phase-boundary"), "{}", v.message);
     }
 
     #[test]

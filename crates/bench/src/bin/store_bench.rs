@@ -113,10 +113,10 @@ fn json_escape_free(rows: &[Row]) -> String {
             Some(h) => format!("{h:.4}"),
             None => "null".to_string(),
         };
-        let _ = write!(
+        let _ = writeln!(
             out,
             "    {{\"config\": \"{}\", \"pattern\": \"{}\", \"wall_us\": {}, \
-             \"bytes_read\": {}, \"hit_rate\": {}, \"report\": {}}}{}\n",
+             \"bytes_read\": {}, \"hit_rate\": {}, \"report\": {}}}{}",
             r.config,
             r.pattern,
             r.micros,

@@ -39,6 +39,8 @@ impl BenchEnv {
     /// Evaluate an expression as-is.
     pub fn eval(&self, e: &Expr) -> Value {
         let ctx = EvalCtx::new(&self.globals, &self.externals).with_limits(self.limits.clone());
+        // Benchmarks abort on a broken workload — the numbers would be
+        // meaningless anyway. lint-wall: allow
         eval(e, &ctx).unwrap_or_else(|err| panic!("bench eval failed: {err} in {e}"))
     }
 

@@ -92,7 +92,10 @@ pub enum CExpr {
 
 /// Compile a named expression. Never fails for well-typed input; the
 /// `Result` accommodates internal invariant violations surfaced as
-/// [`EvalError::IllTyped`].
+/// [`EvalError::Internal`] — a malformed constructor (a buggy
+/// optimizer rule or a hand-built term that bypassed the typechecker)
+/// is reported with its constructor name instead of aborting the
+/// process deep inside evaluation.
 pub fn compile(e: &Expr) -> Result<CExpr, EvalError> {
     let mut scope: Vec<Name> = Vec::new();
     go(e, &mut scope)
@@ -102,7 +105,46 @@ fn rc(e: CExpr) -> Rc<CExpr> {
     Rc::new(e)
 }
 
+/// A malformed-constructor report, naming the offending constructor.
+fn malformed(constructor: &str, detail: String) -> EvalError {
+    EvalError::Internal(format!("malformed `{constructor}` reached compile: {detail}"))
+}
+
 fn go(e: &Expr, scope: &mut Vec<Name>) -> Result<CExpr, EvalError> {
+    // Shape invariants the typechecker (and `aql-verify`) enforce on
+    // the way in; re-checked here because compile is also reachable
+    // with terms built programmatically or rewritten by extension
+    // rules.
+    match e {
+        Expr::Tuple(items) if items.len() < 2 => {
+            return Err(malformed("Tuple", format!("arity {} < 2", items.len())));
+        }
+        Expr::Proj(i, k, _) if *k < 2 || *i < 1 || i > k => {
+            return Err(malformed("Proj", format!("pi_{i}_{k}")));
+        }
+        Expr::Tab { idx, .. } if idx.is_empty() => {
+            return Err(malformed("Tab", "no index binders (rank 0)".into()));
+        }
+        Expr::Sub(_, idx) if idx.is_empty() => {
+            return Err(malformed("Sub", "no subscript indices".into()));
+        }
+        Expr::Dim(0, _) => {
+            return Err(malformed("Dim", "rank 0 (arrays have rank >= 1)".into()));
+        }
+        Expr::ArrayLit { dims, .. } if dims.is_empty() => {
+            return Err(malformed("ArrayLit", "no dimensions (rank 0)".into()));
+        }
+        Expr::Index(0, _) => {
+            return Err(malformed("Index", "rank 0 (arrays have rank >= 1)".into()));
+        }
+        Expr::Prim(p, args) if args.len() != p.arity() => {
+            return Err(malformed(
+                "Prim",
+                format!("`{}` expects {} argument(s), got {}", p.name(), p.arity(), args.len()),
+            ));
+        }
+        _ => {}
+    }
     Ok(match e {
         Expr::Var(x) => match scope.iter().rposition(|n| n == x) {
             Some(pos) => CExpr::Var(scope.len() - 1 - pos),
@@ -221,37 +263,32 @@ mod tests {
     use super::*;
     use crate::expr::builder::*;
 
+    /// Assert the compiled shape via its `Debug` rendering: one
+    /// assertion with a readable diff instead of nested `match` chains
+    /// ending in `panic!("unexpected …")` arms.
+    fn assert_compiles_to(e: &Expr, expected: &CExpr) {
+        let c = compile(e).unwrap();
+        assert_eq!(format!("{c:?}"), format!("{expected:?}"));
+    }
+
     #[test]
     fn de_bruijn_indices() {
         // λx.λy. x - y: x is index 1, y is index 0.
         let e = lam("x", lam("y", monus(var("x"), var("y"))));
-        let c = compile(&e).unwrap();
-        match c {
-            CExpr::Lam(b1) => match &*b1 {
-                CExpr::Lam(b2) => match &**b2 {
-                    CExpr::Arith(ArithOp::Monus, a, b) => {
-                        assert!(matches!(**a, CExpr::Var(1)));
-                        assert!(matches!(**b, CExpr::Var(0)));
-                    }
-                    other => panic!("unexpected {other:?}"),
-                },
-                other => panic!("unexpected {other:?}"),
-            },
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_compiles_to(
+            &e,
+            &CExpr::Lam(rc(CExpr::Lam(rc(CExpr::Arith(
+                ArithOp::Monus,
+                rc(CExpr::Var(1)),
+                rc(CExpr::Var(0)),
+            ))))),
+        );
     }
 
     #[test]
     fn shadowing_picks_innermost() {
         let e = lam("x", lam("x", var("x")));
-        let c = compile(&e).unwrap();
-        match c {
-            CExpr::Lam(b1) => match &*b1 {
-                CExpr::Lam(b2) => assert!(matches!(&**b2, CExpr::Var(0))),
-                other => panic!("unexpected {other:?}"),
-            },
-            other => panic!("unexpected {other:?}"),
-        }
+        assert_compiles_to(&e, &CExpr::Lam(rc(CExpr::Lam(rc(CExpr::Var(0))))));
     }
 
     #[test]
@@ -265,14 +302,49 @@ mod tests {
         // [[ i | i < n, j < m ]]: head sees j at 0, i at 1; the bounds
         // see neither.
         let e = tab(vec![("i", var("i")), ("j", var("j"))], var("i"));
-        let c = compile(&e).unwrap();
-        match c {
-            CExpr::Tab { head, bounds } => {
-                assert!(matches!(&*head, CExpr::Var(1)));
-                assert!(matches!(&bounds[0], CExpr::Global(n) if &**n == "i"));
-                assert!(matches!(&bounds[1], CExpr::Global(n) if &**n == "j"));
-            }
-            other => panic!("unexpected {other:?}"),
+        assert_compiles_to(
+            &e,
+            &CExpr::Tab {
+                head: rc(CExpr::Var(1)),
+                bounds: vec![
+                    CExpr::Global(crate::expr::name("i")),
+                    CExpr::Global(crate::expr::name("j")),
+                ],
+            },
+        );
+    }
+
+    #[test]
+    fn malformed_terms_error_instead_of_aborting() {
+        // Terms the typechecker would reject but that can reach compile
+        // through a buggy extension rewrite: each must surface as
+        // `EvalError::Internal` naming the constructor, not a panic.
+        let cases: Vec<(Expr, &str)> = vec![
+            (Expr::Tuple(vec![nat(1)]), "Tuple"),
+            (Expr::Tuple(Vec::new()), "Tuple"),
+            (Expr::Proj(0, 2, Box::new(tuple(vec![nat(1), nat(2)]))), "Proj"),
+            (Expr::Proj(3, 2, Box::new(tuple(vec![nat(1), nat(2)]))), "Proj"),
+            (Expr::Proj(1, 1, Box::new(nat(1))), "Proj"),
+            (Expr::Tab { head: Box::new(nat(1)), idx: Vec::new() }, "Tab"),
+            (Expr::Sub(Box::new(var("a")), Vec::new()), "Sub"),
+            (Expr::Dim(0, Box::new(var("a"))), "Dim"),
+            (Expr::ArrayLit { dims: Vec::new(), items: Vec::new() }, "ArrayLit"),
+            (Expr::Index(0, Box::new(var("a"))), "Index"),
+            (Expr::Prim(Prim::Member, vec![nat(1)]), "Prim"),
+            (Expr::Prim(Prim::MinSet, Vec::new()), "Prim"),
+        ];
+        for (e, ctor) in cases {
+            let err = compile(&e).expect_err("malformed term must not compile");
+            let EvalError::Internal(m) = &err else {
+                unreachable!("expected Internal for {e:?}, got {err:?}");
+            };
+            assert!(
+                m.contains(&format!("`{ctor}`")),
+                "message must name the constructor `{ctor}`: {m}"
+            );
         }
+        // The checks also apply to subterms under binders.
+        let nested = lam("x", Expr::Tuple(vec![var("x")]));
+        assert!(matches!(compile(&nested), Err(EvalError::Internal(_))));
     }
 }

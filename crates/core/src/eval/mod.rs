@@ -551,9 +551,15 @@ pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalE
                     }
                 }
             }
-            Ok(Value::Array(Rc::new(
-                ArrayVal::new(dims, data).expect("tabulation produces consistent shape"),
-            )))
+            // The loop above produces exactly ∏dims values whenever
+            // `dims` is non-empty, but a hand-built rank-0 `Tab` (which
+            // `compile` rejects, though `CExpr` is constructible
+            // directly) would violate the shape invariant — surface
+            // that as an internal error instead of aborting.
+            let arr = ArrayVal::new(dims, data).map_err(|e| {
+                EvalError::Internal(format!("tabulation produced an inconsistent shape: {e}"))
+            })?;
+            Ok(Value::Array(Rc::new(arr)))
         }
         CExpr::Sub(arr, idx) => {
             ctx.subscripts.set(ctx.subscripts.get() + 1);
@@ -615,9 +621,14 @@ pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalE
             for it in items {
                 data.push(strict!(eval_compiled(it, env, ctx)?));
             }
-            Ok(Value::Array(Rc::new(
-                ArrayVal::new(ds, data).expect("shape checked above"),
-            )))
+            // `total == items.len()` was checked above, but a rank-0
+            // literal (`dims` empty — rejected by `compile`, yet
+            // constructible as a raw `CExpr`) still fails `new`'s
+            // non-empty-dims check; report it rather than abort.
+            let arr = ArrayVal::new(ds, data).map_err(|e| {
+                EvalError::Internal(format!("array literal shape invariant broken: {e}"))
+            })?;
+            Ok(Value::Array(Rc::new(arr)))
         }
         CExpr::Index(k, e) => {
             let v = strict!(eval_compiled(e, env, ctx)?);
@@ -626,10 +637,12 @@ pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalE
         CExpr::Get(e) => {
             let v = strict!(eval_compiled(e, env, ctx)?);
             let s = v.as_set()?;
-            if s.len() == 1 {
-                Ok(s.iter().next().expect("len 1").clone())
-            } else {
-                Ok(Value::Bottom)
+            // `get` of a singleton; anything else is ⊥. Probing the
+            // iterator directly avoids an `expect` on `len() == 1`.
+            let mut it = s.iter();
+            match (it.next(), it.next()) {
+                (Some(only), None) => Ok(only.clone()),
+                _ => Ok(Value::Bottom),
             }
         }
         CExpr::Bottom => Ok(Value::Bottom),
@@ -747,9 +760,13 @@ fn index_value(k: usize, pairs: &CoSet, ctx: &EvalCtx) -> Result<Value, EvalErro
         .into_iter()
         .map(|b| Value::Set(Rc::new(CoSet::from_vec(b))))
         .collect();
-    Ok(Value::Array(Rc::new(
-        ArrayVal::new(dims, data).expect("consistent index shape"),
-    )))
+    // `buckets` has exactly ∏dims entries by construction; only a
+    // hand-built `index_0` (rejected by `compile`) can yield empty
+    // `dims` here — make that an internal error, not an abort.
+    let arr = ArrayVal::new(dims, data).map_err(|e| {
+        EvalError::Internal(format!("index produced an inconsistent shape: {e}"))
+    })?;
+    Ok(Value::Array(Rc::new(arr)))
 }
 
 #[cfg(test)]

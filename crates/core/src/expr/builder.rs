@@ -289,6 +289,7 @@ pub fn or(a: Expr, b: Expr) -> Expr {
 /// Apply `f` to several arguments packed as a tuple: `f(a1, …, an)`.
 pub fn app_tuple(f: Expr, args: Vec<Expr>) -> Expr {
     match args.len() {
+        // Builder precondition, not a runtime path. lint-wall: allow
         0 => panic!("app_tuple needs at least one argument"),
         1 => app(f, args.into_iter().next().expect("len checked")),
         _ => app(f, tuple(args)),

@@ -451,8 +451,8 @@ mod tests {
                 let mut idx = start.to_vec();
                 'outer: loop {
                     let mut off = 0u64;
-                    for j in 0..self.dims.len() {
-                        off = off * self.dims[j] + idx[j];
+                    for (&d, &i) in self.dims.iter().zip(idx.iter()) {
+                        off = off * d + i;
                     }
                     out.push(off as f64);
                     let mut j = self.dims.len();

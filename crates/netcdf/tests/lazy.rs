@@ -80,7 +80,7 @@ proptest! {
             prop_assert_eq!(x, want.get_f64(off as usize).unwrap());
         }
         // Full-slab extraction agrees too (exercises edge chunks).
-        let buf = lazy.read_slab(&vec![0; 3], &count).unwrap();
+        let buf = lazy.read_slab(&[0; 3], &count).unwrap();
         for off in 0..n as usize {
             let Scalar::F64(x) = buf.get(off).unwrap() else { panic!("f64 variable") };
             prop_assert_eq!(x, want.get_f64(off).unwrap());

@@ -207,8 +207,8 @@ mod tests {
                 let mut idx = start.to_vec();
                 'outer: loop {
                     let mut off = 0u64;
-                    for j in 0..self.dims.len() {
-                        off = off * self.dims[j] + idx[j];
+                    for (&d, &i) in self.dims.iter().zip(idx.iter()) {
+                        off = off * d + i;
                     }
                     out.push(self.data[off as usize]);
                     let mut j = self.dims.len();

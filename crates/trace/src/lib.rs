@@ -210,7 +210,7 @@ pub fn redact_timings(s: &str) -> String {
                 }
             }
         }
-        let ch = s[i..].chars().next().unwrap();
+        let Some(ch) = s[i..].chars().next() else { break };
         out.push(ch);
         i += ch.len_utf8();
     }

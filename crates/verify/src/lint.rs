@@ -1,0 +1,503 @@
+//! Shape/bounds lints: constant-extent propagation over well-typed
+//! terms.
+//!
+//! An abstract interpretation on a small fact domain — nat-value
+//! ranges, known array extents, tuples of facts, and "definitely ⊥" —
+//! propagated through tabulations (an index variable `i` of
+//! `[[… | i < 10]]` is known to lie in `[0, 9]`), literal dimensions,
+//! `let`/β-redex bindings, and arithmetic on constants. Three
+//! warnings come out of it:
+//!
+//! * **L001** — a subscript that is *provably* out of bounds on some
+//!   axis (index lower bound ≥ known extent): the subscript always
+//!   evaluates to ⊥;
+//! * **L002** — a tabulation bound or literal dimension that is
+//!   constantly zero: the array can hold no elements;
+//! * **L003** — a conditional whose condition is the literal `⊥` or a
+//!   constant boolean: a branch (or the whole expression) is dead.
+//!
+//! Everything is conservative: a fact is only as strong as the
+//! constants that reach it, and `Top` kills propagation. The lints
+//! never fire on merely-possible failures — only on certainties, per
+//! the paper's convention that out-of-bounds access *is* a value (⊥),
+//! not an error.
+
+use aql_core::expr::{Expr, Name};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// What is statically known about a subterm's value.
+#[derive(Debug, Clone, PartialEq)]
+enum Fact {
+    /// A natural in `[lo, hi]` (`hi = None`: unbounded above).
+    Nat { lo: u64, hi: Option<u64> },
+    /// An array with per-axis extents (known or unknown).
+    Arr { dims: Vec<Option<u64>> },
+    /// A tuple of facts.
+    Tup(Vec<Fact>),
+    /// Definitely ⊥.
+    Bot,
+    /// No information.
+    Top,
+}
+
+impl Fact {
+    fn exact(n: u64) -> Fact {
+        Fact::Nat { lo: n, hi: Some(n) }
+    }
+
+    /// The exactly-known value, if any.
+    fn constant(&self) -> Option<u64> {
+        match self {
+            Fact::Nat { lo, hi: Some(h) } if lo == h => Some(*lo),
+            _ => None,
+        }
+    }
+}
+
+/// Least upper bound (for joining `if` branches).
+fn join(a: &Fact, b: &Fact) -> Fact {
+    match (a, b) {
+        (Fact::Bot, x) | (x, Fact::Bot) => x.clone(),
+        (Fact::Nat { lo: l1, hi: h1 }, Fact::Nat { lo: l2, hi: h2 }) => Fact::Nat {
+            lo: (*l1).min(*l2),
+            hi: h1.zip(*h2).map(|(x, y)| x.max(y)),
+        },
+        (Fact::Arr { dims: d1 }, Fact::Arr { dims: d2 }) if d1.len() == d2.len() => Fact::Arr {
+            dims: d1
+                .iter()
+                .zip(d2)
+                .map(|(x, y)| if x == y { *x } else { None })
+                .collect(),
+        },
+        (Fact::Tup(xs), Fact::Tup(ys)) if xs.len() == ys.len() => {
+            Fact::Tup(xs.iter().zip(ys).map(|(x, y)| join(x, y)).collect())
+        }
+        _ => Fact::Top,
+    }
+}
+
+/// Run the lint pass over a (resolved, well-typed) term.
+pub fn lint_expr(e: &Expr) -> Vec<Diagnostic> {
+    let mut l = Linter { diags: Vec::new(), path: Vec::new() };
+    let mut env = Vec::new();
+    l.infer(&mut env, e);
+    l.diags
+}
+
+struct Linter {
+    diags: Vec<Diagnostic>,
+    path: Vec<&'static str>,
+}
+
+type Env = Vec<(Name, Fact)>;
+
+impl Linter {
+    fn warn(&mut self, code: &'static str, message: impl Into<String>) {
+        self.diags.push(Diagnostic::new(code, Severity::Warning, &self.path, message));
+    }
+
+    fn child(&mut self, seg: &'static str, env: &mut Env, e: &Expr) -> Fact {
+        self.path.push(seg);
+        let f = self.infer(env, e);
+        self.path.pop();
+        f
+    }
+
+    fn infer(&mut self, env: &mut Env, e: &Expr) -> Fact {
+        match e {
+            Expr::Nat(n) => Fact::exact(*n),
+            Expr::Bottom => Fact::Bot,
+            Expr::Var(x) => env
+                .iter()
+                .rev()
+                .find(|(n, _)| n == x)
+                .map(|(_, f)| f.clone())
+                .unwrap_or(Fact::Top),
+            Expr::Let(x, bound, body) => {
+                let fb = self.child("let.bound", env, bound);
+                env.push((x.clone(), fb));
+                let f = self.child("let.body", env, body);
+                env.pop();
+                f
+            }
+            // A β-redex binds like `let` — macros expand to these, so
+            // facts flow through e.g. `subseq!(a, i, j)`.
+            Expr::App(f, a) if matches!(**f, Expr::Lam(..)) => {
+                let fa = self.child("app.arg", env, a);
+                let Expr::Lam(x, body) = &**f else { unreachable!() };
+                env.push((x.clone(), fa));
+                let r = self.child("app.fun", env, body);
+                env.pop();
+                r
+            }
+            Expr::Tuple(items) => {
+                let fs = items.iter().map(|it| self.child("tuple.item", env, it)).collect();
+                Fact::Tup(fs)
+            }
+            Expr::Proj(i, k, inner) => {
+                let f = self.child("proj", env, inner);
+                match f {
+                    Fact::Tup(fs) if fs.len() == *k && *i >= 1 && i <= k => fs[*i - 1].clone(),
+                    _ => Fact::Top,
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let fa = self.child("arith.lhs", env, a);
+                let fb = self.child("arith.rhs", env, b);
+                arith_fact(*op, &fa, &fb)
+            }
+            Expr::Tab { head, idx } => {
+                let mut bound_facts = Vec::with_capacity(idx.len());
+                for (j, (_, b)) in idx.iter().enumerate() {
+                    let f = self.child("tab.bound", env, b);
+                    if f.constant() == Some(0) {
+                        self.warn(
+                            "L002",
+                            format!(
+                                "tabulation bound {} is constantly zero: the array has no \
+                                 elements",
+                                j + 1
+                            ),
+                        );
+                    }
+                    bound_facts.push(f);
+                }
+                for ((n, _), f) in idx.iter().zip(&bound_facts) {
+                    // i < bound, so i ∈ [0, hi(bound) - 1].
+                    let hi = match f {
+                        Fact::Nat { hi: Some(h), .. } if *h > 0 => Some(h - 1),
+                        _ => None,
+                    };
+                    env.push((n.clone(), Fact::Nat { lo: 0, hi }));
+                }
+                self.child("tab.head", env, head);
+                for _ in idx {
+                    env.pop();
+                }
+                Fact::Arr { dims: bound_facts.iter().map(Fact::constant).collect() }
+            }
+            Expr::ArrayLit { dims, items } => {
+                let mut ds = Vec::with_capacity(dims.len());
+                for (j, d) in dims.iter().enumerate() {
+                    let f = self.child("arraylit.dim", env, d);
+                    if f.constant() == Some(0) {
+                        self.warn(
+                            "L002",
+                            format!("array literal dimension {} is zero", j + 1),
+                        );
+                    }
+                    ds.push(f.constant());
+                }
+                for it in items {
+                    self.child("arraylit.item", env, it);
+                }
+                Fact::Arr { dims: ds }
+            }
+            Expr::Sub(arr, idx) => {
+                let fa = self.child("sub.array", env, arr);
+                // A single tuple-literal index addresses each axis.
+                let axis_facts: Vec<Fact> = if idx.len() == 1 {
+                    match self.child("sub.index", env, &idx[0]) {
+                        Fact::Tup(fs) => fs,
+                        f => vec![f],
+                    }
+                } else {
+                    idx.iter().map(|i| self.child("sub.index", env, i)).collect()
+                };
+                let mut oob = false;
+                if let Fact::Arr { dims } = &fa {
+                    if dims.len() == axis_facts.len() {
+                        for (j, (d, f)) in dims.iter().zip(&axis_facts).enumerate() {
+                            if let (Some(extent), Fact::Nat { lo, .. }) = (d, f) {
+                                if lo >= extent {
+                                    oob = true;
+                                    self.warn(
+                                        "L001",
+                                        format!(
+                                            "subscript along dimension {} is provably out of \
+                                             bounds (index >= {lo}, extent {extent}): the \
+                                             subscript always evaluates to bottom",
+                                            j + 1
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                if oob {
+                    Fact::Bot
+                } else {
+                    Fact::Top
+                }
+            }
+            Expr::Dim(k, inner) => {
+                let f = self.child("dim", env, inner);
+                match f {
+                    Fact::Arr { dims } if dims.len() == *k => {
+                        let facts: Vec<Fact> = dims
+                            .iter()
+                            .map(|d| match d {
+                                Some(n) => Fact::exact(*n),
+                                None => Fact::Nat { lo: 0, hi: None },
+                            })
+                            .collect();
+                        if *k == 1 {
+                            facts.into_iter().next().unwrap_or(Fact::Top)
+                        } else {
+                            Fact::Tup(facts)
+                        }
+                    }
+                    _ => Fact::Top,
+                }
+            }
+            Expr::If(c, t, f) => {
+                self.child("if.cond", env, c);
+                match &**c {
+                    Expr::Bottom => {
+                        self.warn(
+                            "L003",
+                            "`if` condition is the literal bottom: both branches are dead and \
+                             the expression always evaluates to bottom",
+                        );
+                        self.child("if.then", env, t);
+                        self.child("if.else", env, f);
+                        Fact::Bot
+                    }
+                    Expr::Bool(b) => {
+                        self.warn(
+                            "L003",
+                            format!(
+                                "`if` condition is constantly {b}: the {} branch is dead",
+                                if *b { "else" } else { "then" }
+                            ),
+                        );
+                        let ft = self.child("if.then", env, t);
+                        let ff = self.child("if.else", env, f);
+                        if *b {
+                            ft
+                        } else {
+                            ff
+                        }
+                    }
+                    _ => {
+                        let ft = self.child("if.then", env, t);
+                        let ff = self.child("if.else", env, f);
+                        join(&ft, &ff)
+                    }
+                }
+            }
+            // Remaining binder forms: the bound variable carries no
+            // usable fact; recurse for nested lints.
+            Expr::Lam(x, body) => {
+                env.push((x.clone(), Fact::Top));
+                self.child("lam.body", env, body);
+                env.pop();
+                Fact::Top
+            }
+            Expr::BigUnion { head, var, src }
+            | Expr::BigBagUnion { head, var, src }
+            | Expr::Sum { head, var, src } => {
+                self.child("src", env, src);
+                env.push((var.clone(), Fact::Top));
+                self.child("head", env, head);
+                env.pop();
+                if matches!(e, Expr::Sum { .. }) {
+                    Fact::Nat { lo: 0, hi: None }
+                } else {
+                    Fact::Top
+                }
+            }
+            Expr::BigUnionRank { head, var, rank, src }
+            | Expr::BigBagUnionRank { head, var, rank, src } => {
+                self.child("src", env, src);
+                env.push((var.clone(), Fact::Top));
+                env.push((rank.clone(), Fact::Nat { lo: 0, hi: None }));
+                self.child("head", env, head);
+                env.pop();
+                env.pop();
+                Fact::Top
+            }
+            // Everything else: no facts, but visit all children so
+            // nested terms still lint.
+            Expr::Global(_)
+            | Expr::Ext(_)
+            | Expr::Empty
+            | Expr::BagEmpty
+            | Expr::Bool(_)
+            | Expr::Real(_)
+            | Expr::Str(_) => Fact::Top,
+            Expr::App(f, a) => {
+                self.child("app.fun", env, f);
+                self.child("app.arg", env, a);
+                Fact::Top
+            }
+            Expr::Single(inner)
+            | Expr::BagSingle(inner)
+            | Expr::Gen(inner)
+            | Expr::Index(_, inner)
+            | Expr::Get(inner) => {
+                self.child("arg", env, inner);
+                Fact::Top
+            }
+            Expr::Union(a, b) | Expr::BagUnion(a, b) => {
+                self.child("lhs", env, a);
+                self.child("rhs", env, b);
+                Fact::Top
+            }
+            Expr::Cmp(_, a, b) => {
+                self.child("cmp.lhs", env, a);
+                self.child("cmp.rhs", env, b);
+                Fact::Top
+            }
+            Expr::Prim(_, args) => {
+                for a in args {
+                    self.child("prim.arg", env, a);
+                }
+                Fact::Top
+            }
+        }
+    }
+}
+
+/// Range arithmetic on nat facts (saturating/checked, conservative).
+fn arith_fact(op: aql_core::expr::ArithOp, a: &Fact, b: &Fact) -> Fact {
+    use aql_core::expr::ArithOp::*;
+    let (Fact::Nat { lo: l1, hi: h1 }, Fact::Nat { lo: l2, hi: h2 }) = (a, b) else {
+        return Fact::Top;
+    };
+    match op {
+        Add => Fact::Nat {
+            lo: l1.saturating_add(*l2),
+            hi: h1.zip(*h2).and_then(|(x, y)| x.checked_add(y)),
+        },
+        Mul => Fact::Nat {
+            lo: l1.saturating_mul(*l2),
+            hi: h1.zip(*h2).and_then(|(x, y)| x.checked_mul(y)),
+        },
+        // Monus saturates at zero.
+        Monus => Fact::Nat {
+            lo: h2.map_or(0, |h| l1.saturating_sub(h)),
+            hi: h1.map(|h| h.saturating_sub(*l2)),
+        },
+        // x / y ≤ x for y ≥ 1; y = 0 may be ⊥, so stay conservative.
+        Div => Fact::Nat { lo: 0, hi: if *l2 >= 1 { *h1 } else { None } },
+        // x % y < y for y ≥ 1.
+        Mod => Fact::Nat {
+            lo: 0,
+            hi: h2.and_then(|h| if *l2 >= 1 { Some(h - 1) } else { None }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_core::expr::builder::*;
+
+    fn warns(e: &Expr) -> Vec<Diagnostic> {
+        lint_expr(e)
+    }
+
+    #[test]
+    fn provable_oob_subscript_is_l001() {
+        // [[ i | i < 10 ]][12]
+        let e = sub(tab1("i", nat(10), var("i")), vec![nat(12)]);
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L001");
+        assert!(ds[0].render().contains("index >= 12, extent 10"), "{}", ds[0]);
+        // In-bounds and unknown-bound subscripts stay quiet.
+        assert!(warns(&sub(tab1("i", nat(10), var("i")), vec![nat(9)])).is_empty());
+        assert!(warns(&lam(
+            "n",
+            sub(tab1("i", var("n"), var("i")), vec![nat(12)])
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn literal_dims_feed_the_bounds_check() {
+        // [[1, 2]][5]
+        let e = sub(array1_lit(vec![nat(1), nat(2)]), vec![nat(5)]);
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "L001");
+        // Multi-dimensional: [[2,2; …]][0, 7] flags axis 2 only.
+        let m = array_lit(vec![nat(2), nat(2)], vec![nat(1), nat(2), nat(3), nat(4)]);
+        let ds = warns(&sub(m, vec![nat(0), nat(7)]));
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].render().contains("dimension 2"), "{}", ds[0]);
+    }
+
+    #[test]
+    fn index_ranges_flow_through_arithmetic() {
+        // [[ a[i + 5] | i < 10 ]] over a 12-array: max index 14 but the
+        // *lower* bound is 5 < 12, so no certainty, no warning.
+        let a = || array1_lit((0..12).map(nat).collect());
+        let e = tab1("i", nat(10), sub(a(), vec![add(var("i"), nat(5))]));
+        assert!(warns(&e).is_empty());
+        // [[ a[i + 12] | i < 10 ]]: lower bound 12 ≥ 12 — certain ⊥.
+        let e = tab1("i", nat(10), sub(a(), vec![add(var("i"), nat(12))]));
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L001");
+        assert_eq!(ds[0].path, "tab.head");
+    }
+
+    #[test]
+    fn zero_extents_are_l002() {
+        let ds = warns(&tab1("i", nat(0), var("i")));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "L002");
+        let ds = warns(&array_lit(vec![nat(0)], vec![]));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "L002");
+        // A dynamic bound is not provably zero.
+        assert!(warns(&lam("n", tab1("i", var("n"), var("i")))).is_empty());
+    }
+
+    #[test]
+    fn dead_branches_are_l003() {
+        let ds = warns(&iff(bottom(), nat(1), nat(2)));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "L003");
+        assert!(ds[0].render().contains("both branches are dead"), "{}", ds[0]);
+        let ds = warns(&iff(Expr::Bool(true), nat(1), nat(2)));
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].render().contains("else branch is dead"), "{}", ds[0]);
+        assert!(warns(&iff(eq(var("x"), nat(1)), nat(1), nat(2))).is_empty());
+    }
+
+    #[test]
+    fn facts_flow_through_let_and_beta() {
+        // let n = 3 in [[ i | i < 10 ]][n * 4] — 12 ≥ 10.
+        let e = let_(
+            "n",
+            nat(3),
+            sub(tab1("i", nat(10), var("i")), vec![mul(var("n"), nat(4))]),
+        );
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L001");
+        // (λj. A[j]) 99 over a 2-array.
+        let e = app(
+            lam("j", sub(array1_lit(vec![nat(1), nat(2)]), vec![var("j")])),
+            nat(99),
+        );
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L001");
+    }
+
+    #[test]
+    fn dim_of_known_array_is_constant() {
+        // [[ x | x < len(A) ]][2] over a 2-array: bound = 2, index 2 ≥ 2.
+        let a = array1_lit(vec![nat(7), nat(8)]);
+        let e = sub(tab1("x", len(a), var("x")), vec![nat(2)]);
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L001");
+    }
+}

@@ -1,0 +1,708 @@
+//! The term verifier: unification-free bottom-up type re-derivation
+//! over the named AST.
+//!
+//! Unlike the typechecker (`aql_core::check`) the verifier never
+//! fails-fast and never unifies: it derives a `VTy` for every
+//! subterm, treats unknowns as `Any`, and *collects* diagnostics for
+//! every concrete violation of Fig. 1 it can prove. This makes it
+//! cheap enough to run after every optimizer rule fire and total
+//! enough to describe arbitrarily broken terms.
+
+use std::collections::HashMap;
+
+use aql_core::expr::free::free_vars;
+use aql_core::expr::{Expr, Name, Prim};
+use aql_core::prim::Extensions;
+use aql_core::types::Type;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::vty::VTy;
+
+/// How free names are resolved.
+enum Names<'a> {
+    /// Full session knowledge: `val` types and registered externals.
+    /// Unknown globals are V001 errors.
+    Known(&'a HashMap<Name, Type>, &'a Extensions),
+    /// Open mode (used by the rewrite gate, which has no session):
+    /// the listed names are in scope with unknown type; `Global` and
+    /// `Ext` references are assumed well-typed elsewhere.
+    Open(&'a [Name]),
+}
+
+struct Verifier<'a> {
+    names: Names<'a>,
+    diags: Vec<Diagnostic>,
+    path: Vec<&'static str>,
+}
+
+/// Verify a term against a session environment. Returns every
+/// diagnostic found (empty for a well-formed term). Free variables
+/// resolve through `globals` like the typechecker's; unknown names are
+/// `V001` errors.
+pub fn verify_expr(
+    e: &Expr,
+    globals: &HashMap<Name, Type>,
+    externals: &Extensions,
+) -> Vec<Diagnostic> {
+    let mut v = Verifier {
+        names: Names::Known(globals, externals),
+        diags: Vec::new(),
+        path: Vec::new(),
+    };
+    let mut env = Vec::new();
+    v.infer(&mut env, e);
+    v.diags
+}
+
+/// Verify a closed term (no globals, no externals).
+pub fn verify_closed(e: &Expr) -> Vec<Diagnostic> {
+    verify_expr(e, &HashMap::new(), &Extensions::new())
+}
+
+/// Verify an open term: names in `assume` (plus `Global`/`Ext`
+/// references) are taken as bound with unknown type. This is the
+/// engine-side mode — the optimizer rewrites subterms under binders it
+/// tracks but cannot type.
+pub fn verify_open(e: &Expr, assume: &[Name]) -> Vec<Diagnostic> {
+    verify_open_typed(e, assume).1
+}
+
+fn verify_open_typed(e: &Expr, assume: &[Name]) -> (VTy, Vec<Diagnostic>) {
+    let mut v = Verifier { names: Names::Open(assume), diags: Vec::new(), path: Vec::new() };
+    let mut env = Vec::new();
+    let t = v.infer(&mut env, e);
+    (t, v.diags)
+}
+
+/// The per-fire rewrite-soundness check: is replacing `before` by
+/// `after`, under the lexical binders `scope`, locally sound?
+///
+/// Rejects the rewrite when `after`
+///
+/// * refers to a variable bound neither in `scope` nor free in
+///   `before` (a rule invented or captured a name),
+/// * is internally inconsistent (any `V…` diagnostic), or
+/// * has a locally-derived type incompatible with `before`'s — e.g. a
+///   rule turning a `nat` redex into a `bool`, or changing an array's
+///   rank.
+///
+/// Binder types are unknown at the engine level, so this is a
+/// *compatibility* check: it cannot prove full type preservation (the
+/// session's phase-level gate re-runs the real typechecker for that)
+/// but it attributes concrete violations to the exact rule fire.
+pub fn check_rewrite(before: &Expr, after: &Expr, scope: &[Name]) -> Result<(), String> {
+    let mut allowed: Vec<Name> = scope.to_vec();
+    for n in free_vars(before) {
+        if !allowed.contains(&n) {
+            allowed.push(n);
+        }
+    }
+    let (t_after, diags) = verify_open_typed(after, &allowed);
+    if let Some(d) = diags.iter().find(|d| d.is_error()) {
+        return Err(format!("rewrite produced an ill-formed term: {}", d.render()));
+    }
+    let (t_before, _) = verify_open_typed(before, &allowed);
+    if t_before.meet(&t_after).is_none() {
+        return Err(format!(
+            "rewrite changed the redex's type: {t_before} ~> {t_after}"
+        ));
+    }
+    Ok(())
+}
+
+impl<'a> Verifier<'a> {
+    fn report(&mut self, code: &'static str, message: impl Into<String>) {
+        self.diags.push(Diagnostic::new(code, Severity::Error, &self.path, message));
+    }
+
+    fn child(&mut self, seg: &'static str, env: &mut Vec<(Name, VTy)>, e: &Expr) -> VTy {
+        self.path.push(seg);
+        let t = self.infer(env, e);
+        self.path.pop();
+        t
+    }
+
+    /// Meet two types at the current path; a clash reports `code` with
+    /// `what` in the message and recovers with the non-`Any` side.
+    fn expect(&mut self, code: &'static str, what: &str, got: &VTy, want: &VTy) -> VTy {
+        match got.meet(want) {
+            Some(t) => t,
+            None => {
+                self.report(code, format!("{what}: expected {want}, got {got}"));
+                want.clone()
+            }
+        }
+    }
+
+    /// Destructure a set type, reporting V002 otherwise. Returns the
+    /// element type (`Any` when unknown).
+    fn expect_set(&mut self, what: &str, got: &VTy) -> VTy {
+        match got {
+            VTy::Set(e) => (**e).clone(),
+            VTy::Any => VTy::Any,
+            other => {
+                self.report("V002", format!("{what}: expected a set, got {other}"));
+                VTy::Any
+            }
+        }
+    }
+
+    /// Destructure a bag type, reporting V002 otherwise.
+    fn expect_bag(&mut self, what: &str, got: &VTy) -> VTy {
+        match got {
+            VTy::Bag(e) => (**e).clone(),
+            VTy::Any => VTy::Any,
+            other => {
+                self.report("V002", format!("{what}: expected a bag, got {other}"));
+                VTy::Any
+            }
+        }
+    }
+
+    /// An element stored in a set/bag/array must be an object type.
+    fn require_object(&mut self, what: &str, t: &VTy) {
+        if t.contains_arrow() {
+            self.report("V005", format!("{what} has function type {t}"));
+        }
+    }
+
+    fn lookup(&mut self, env: &[(Name, VTy)], x: &Name) -> VTy {
+        if let Some((_, t)) = env.iter().rev().find(|(n, _)| n == x) {
+            return t.clone();
+        }
+        match &self.names {
+            Names::Known(globals, _) => match globals.get(x) {
+                Some(t) => VTy::from_type(t),
+                None => {
+                    self.report("V001", format!("unbound variable `{x}`"));
+                    VTy::Any
+                }
+            },
+            Names::Open(assume) => {
+                if assume.contains(x) {
+                    VTy::Any
+                } else {
+                    self.report("V001", format!("unbound variable `{x}`"));
+                    VTy::Any
+                }
+            }
+        }
+    }
+
+    fn infer(&mut self, env: &mut Vec<(Name, VTy)>, e: &Expr) -> VTy {
+        match e {
+            Expr::Var(x) => self.lookup(env, x),
+            Expr::Global(x) => match &self.names {
+                Names::Known(globals, _) => match globals.get(x) {
+                    Some(t) => VTy::from_type(t),
+                    None => {
+                        self.report("V001", format!("unbound global `{x}`"));
+                        VTy::Any
+                    }
+                },
+                Names::Open(_) => VTy::Any,
+            },
+            Expr::Ext(x) => match &self.names {
+                Names::Known(_, externals) => match externals.type_of(x) {
+                    Some(t) => VTy::from_type(t),
+                    None => {
+                        self.report("V001", format!("unknown external `{x}`"));
+                        VTy::Any
+                    }
+                },
+                Names::Open(_) => VTy::Any,
+            },
+            Expr::Lam(x, body) => {
+                env.push((x.clone(), VTy::Any));
+                let t = self.child("lam.body", env, body);
+                env.pop();
+                VTy::Fun(Box::new(VTy::Any), Box::new(t))
+            }
+            Expr::App(f, a) => {
+                let tf = self.child("app.fun", env, f);
+                let ta = self.child("app.arg", env, a);
+                match tf {
+                    VTy::Fun(p, r) => {
+                        if p.meet(&ta).is_none() {
+                            self.report(
+                                "V002",
+                                format!("argument type {ta} does not match parameter type {p}"),
+                            );
+                        }
+                        *r
+                    }
+                    VTy::Any => VTy::Any,
+                    other => {
+                        self.report("V002", format!("applied a non-function of type {other}"));
+                        VTy::Any
+                    }
+                }
+            }
+            Expr::Let(x, bound, body) => {
+                let tb = self.child("let.bound", env, bound);
+                env.push((x.clone(), tb));
+                let t = self.child("let.body", env, body);
+                env.pop();
+                t
+            }
+            Expr::Tuple(items) => {
+                if items.len() < 2 {
+                    self.report(
+                        "V008",
+                        format!("tuple of arity {} (products need arity >= 2)", items.len()),
+                    );
+                }
+                let ts: Vec<VTy> =
+                    items.iter().map(|it| self.child("tuple.item", env, it)).collect();
+                VTy::Tuple(ts)
+            }
+            Expr::Proj(i, k, inner) => {
+                let te = self.child("proj", env, inner);
+                if *k < 2 || *i < 1 || i > k {
+                    self.report("V003", format!("malformed projection pi_{i}_{k}"));
+                    return VTy::Any;
+                }
+                match te {
+                    VTy::Tuple(ts) => {
+                        if ts.len() != *k {
+                            self.report(
+                                "V003",
+                                format!("pi_{i}_{k} applied to a {}-tuple", ts.len()),
+                            );
+                            VTy::Any
+                        } else {
+                            ts[*i - 1].clone()
+                        }
+                    }
+                    VTy::Any => VTy::Any,
+                    other => {
+                        self.report("V002", format!("pi_{i}_{k} applied to non-tuple {other}"));
+                        VTy::Any
+                    }
+                }
+            }
+            Expr::Empty => VTy::Set(Box::new(VTy::Any)),
+            Expr::Single(inner) => {
+                let t = self.child("single", env, inner);
+                self.require_object("set element", &t);
+                VTy::Set(Box::new(t))
+            }
+            Expr::Union(a, b) => {
+                let ta = self.child("union.lhs", env, a);
+                let tb = self.child("union.rhs", env, b);
+                let ea = self.expect_set("union operand", &ta);
+                let eb = self.expect_set("union operand", &tb);
+                let e = self.expect("V002", "union operands", &ea, &eb);
+                VTy::Set(Box::new(e))
+            }
+            Expr::BigUnion { head, var, src } => {
+                let ts = self.child("bigunion.src", env, src);
+                let elem = self.expect_set("big-union source", &ts);
+                env.push((var.clone(), elem));
+                let th = self.child("bigunion.head", env, head);
+                env.pop();
+                let out = self.expect_set("big-union head", &th);
+                VTy::Set(Box::new(out))
+            }
+            Expr::BigUnionRank { head, var, rank, src } => {
+                let ts = self.child("bigunion.src", env, src);
+                let elem = self.expect_set("ranked big-union source", &ts);
+                env.push((var.clone(), elem));
+                env.push((rank.clone(), VTy::Nat));
+                let th = self.child("bigunion.head", env, head);
+                env.pop();
+                env.pop();
+                let out = self.expect_set("ranked big-union head", &th);
+                VTy::Set(Box::new(out))
+            }
+            Expr::BagEmpty => VTy::Bag(Box::new(VTy::Any)),
+            Expr::BagSingle(inner) => {
+                let t = self.child("bagsingle", env, inner);
+                self.require_object("bag element", &t);
+                VTy::Bag(Box::new(t))
+            }
+            Expr::BagUnion(a, b) => {
+                let ta = self.child("bagunion.lhs", env, a);
+                let tb = self.child("bagunion.rhs", env, b);
+                let ea = self.expect_bag("bag-union operand", &ta);
+                let eb = self.expect_bag("bag-union operand", &tb);
+                let e = self.expect("V002", "bag-union operands", &ea, &eb);
+                VTy::Bag(Box::new(e))
+            }
+            Expr::BigBagUnion { head, var, src } => {
+                let ts = self.child("bigbagunion.src", env, src);
+                let elem = self.expect_bag("big bag-union source", &ts);
+                env.push((var.clone(), elem));
+                let th = self.child("bigbagunion.head", env, head);
+                env.pop();
+                let out = self.expect_bag("big bag-union head", &th);
+                VTy::Bag(Box::new(out))
+            }
+            Expr::BigBagUnionRank { head, var, rank, src } => {
+                let ts = self.child("bigbagunion.src", env, src);
+                let elem = self.expect_bag("ranked big bag-union source", &ts);
+                env.push((var.clone(), elem));
+                env.push((rank.clone(), VTy::Nat));
+                let th = self.child("bigbagunion.head", env, head);
+                env.pop();
+                env.pop();
+                let out = self.expect_bag("ranked big bag-union head", &th);
+                VTy::Bag(Box::new(out))
+            }
+            Expr::Bool(_) => VTy::Bool,
+            Expr::If(c, t, f) => {
+                let tc = self.child("if.cond", env, c);
+                self.path.push("if.cond");
+                self.expect("V002", "`if` condition", &tc, &VTy::Bool);
+                self.path.pop();
+                let tt = self.child("if.then", env, t);
+                let tf = self.child("if.else", env, f);
+                self.expect("V002", "`if` branches", &tt, &tf)
+            }
+            Expr::Cmp(_, a, b) => {
+                let ta = self.child("cmp.lhs", env, a);
+                let tb = self.child("cmp.rhs", env, b);
+                let t = self.expect("V002", "comparison operands", &ta, &tb);
+                self.require_object("comparison operand", &t);
+                VTy::Bool
+            }
+            Expr::Nat(_) => VTy::Nat,
+            Expr::Real(_) => VTy::Real,
+            Expr::Str(_) => VTy::Str,
+            Expr::Arith(op, a, b) => {
+                let ta = self.child("arith.lhs", env, a);
+                let tb = self.child("arith.rhs", env, b);
+                let t = self.expect("V002", "arithmetic operands", &ta, &tb);
+                if t.definitely_non_numeric() {
+                    self.report("V002", format!("arithmetic `{op:?}` on non-numeric type {t}"));
+                    return VTy::Any;
+                }
+                t
+            }
+            Expr::Gen(inner) => {
+                let t = self.child("gen", env, inner);
+                self.expect("V002", "`gen` argument", &t, &VTy::Nat);
+                VTy::Set(Box::new(VTy::Nat))
+            }
+            Expr::Sum { head, var, src } => {
+                let ts = self.child("sum.src", env, src);
+                let elem = self.expect_set("summation source", &ts);
+                env.push((var.clone(), elem));
+                let th = self.child("sum.head", env, head);
+                env.pop();
+                if th.definitely_non_numeric() {
+                    self.report("V002", format!("summation head has non-numeric type {th}"));
+                    return VTy::Any;
+                }
+                th
+            }
+            Expr::Tab { head, idx } => {
+                if idx.is_empty() {
+                    self.report("V004", "tabulation with no index bounds (rank 0)");
+                }
+                for (_, b) in idx {
+                    let tb = self.child("tab.bound", env, b);
+                    self.expect("V002", "tabulation bound", &tb, &VTy::Nat);
+                }
+                for (n, _) in idx {
+                    env.push((n.clone(), VTy::Nat));
+                }
+                let th = self.child("tab.head", env, head);
+                for _ in idx {
+                    env.pop();
+                }
+                self.require_object("array element", &th);
+                VTy::Array(Box::new(th), idx.len().max(1))
+            }
+            Expr::Sub(arr, idx) => {
+                let ta = self.child("sub.array", env, arr);
+                let known_rank = if idx.is_empty() {
+                    self.report("V004", "subscript with no indices");
+                    None
+                } else if idx.len() >= 2 {
+                    for i in idx {
+                        let ti = self.child("sub.index", env, i);
+                        self.expect("V002", "subscript index", &ti, &VTy::Nat);
+                    }
+                    Some(idx.len())
+                } else {
+                    // Single index of type N^k subscripts a k-d array.
+                    let ti = self.child("sub.index", env, &idx[0]);
+                    match ti {
+                        VTy::Tuple(comps) => {
+                            for c in &comps {
+                                self.expect("V002", "subscript index component", c, &VTy::Nat);
+                            }
+                            Some(comps.len())
+                        }
+                        VTy::Nat => Some(1),
+                        VTy::Any => None,
+                        other => {
+                            self.report(
+                                "V002",
+                                format!("subscript index of non-index type {other}"),
+                            );
+                            None
+                        }
+                    }
+                };
+                match (ta, known_rank) {
+                    (VTy::Array(elem, k), Some(r)) => {
+                        if k != r {
+                            self.report(
+                                "V004",
+                                format!("{r} subscript(s) into a rank-{k} array"),
+                            );
+                        }
+                        *elem
+                    }
+                    (VTy::Array(elem, _), None) => *elem,
+                    (VTy::Any, _) => VTy::Any,
+                    (other, _) => {
+                        self.report("V002", format!("subscripted a non-array of type {other}"));
+                        VTy::Any
+                    }
+                }
+            }
+            Expr::Dim(k, inner) => {
+                let te = self.child("dim", env, inner);
+                if *k == 0 {
+                    self.report("V004", "dim_0 (arrays have rank >= 1)");
+                    return VTy::Any;
+                }
+                match te {
+                    VTy::Array(_, r) if r != *k => {
+                        self.report("V004", format!("dim_{k} applied to a rank-{r} array"));
+                    }
+                    VTy::Array(..) | VTy::Any => {}
+                    other => {
+                        self.report("V002", format!("dim_{k} applied to non-array {other}"));
+                    }
+                }
+                VTy::nat_power(*k)
+            }
+            Expr::ArrayLit { dims, items } => {
+                if dims.is_empty() {
+                    self.report("V004", "array literal with no dimensions (rank 0)");
+                }
+                for d in dims {
+                    let td = self.child("arraylit.dim", env, d);
+                    self.expect("V002", "array literal dimension", &td, &VTy::Nat);
+                }
+                let mut elem = VTy::Any;
+                for it in items {
+                    let ti = self.child("arraylit.item", env, it);
+                    elem = self.expect("V002", "array literal elements", &elem, &ti);
+                }
+                let static_dims: Option<Vec<u64>> = dims
+                    .iter()
+                    .map(|d| match d {
+                        Expr::Nat(n) => Some(*n),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(ds) = static_dims {
+                    let expect: u64 = ds.iter().product();
+                    if expect != items.len() as u64 {
+                        self.report(
+                            "V006",
+                            format!(
+                                "array literal declares {expect} element(s) but has {}",
+                                items.len()
+                            ),
+                        );
+                    }
+                }
+                self.require_object("array element", &elem);
+                VTy::Array(Box::new(elem), dims.len().max(1))
+            }
+            Expr::Index(k, inner) => {
+                let te = self.child("index", env, inner);
+                if *k == 0 {
+                    self.report("V004", "index_0 (arrays have rank >= 1)");
+                    return VTy::Any;
+                }
+                let elem = self.expect_set("index argument", &te);
+                let val = match elem {
+                    VTy::Tuple(ref comps) if comps.len() == 2 => {
+                        self.expect(
+                            "V002",
+                            "index key",
+                            &comps[0],
+                            &VTy::nat_power(*k),
+                        );
+                        comps[1].clone()
+                    }
+                    VTy::Any => VTy::Any,
+                    other => {
+                        self.report(
+                            "V002",
+                            format!("index_{k} needs a set of (N^{k}, value) pairs, got {{{other}}}"),
+                        );
+                        VTy::Any
+                    }
+                };
+                VTy::Array(Box::new(VTy::Set(Box::new(val))), *k)
+            }
+            Expr::Get(inner) => {
+                let t = self.child("get", env, inner);
+                self.expect_set("`get` argument", &t)
+            }
+            Expr::Bottom => VTy::Any,
+            Expr::Prim(p, args) => {
+                if args.len() != p.arity() {
+                    self.report(
+                        "V007",
+                        format!(
+                            "primitive `{}` expects {} argument(s), got {}",
+                            p.name(),
+                            p.arity(),
+                            args.len()
+                        ),
+                    );
+                    for a in args {
+                        self.child("prim.arg", env, a);
+                    }
+                    return VTy::Any;
+                }
+                match p {
+                    Prim::Member => {
+                        let tx = self.child("prim.arg", env, &args[0]);
+                        let ts = self.child("prim.arg", env, &args[1]);
+                        let elem = self.expect_set("membership set", &ts);
+                        self.expect("V002", "membership operands", &tx, &elem);
+                        VTy::Bool
+                    }
+                    Prim::MinSet | Prim::MaxSet => {
+                        let ts = self.child("prim.arg", env, &args[0]);
+                        self.expect_set("min/max argument", &ts)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_core::expr::builder::*;
+    use aql_core::expr::name;
+
+    fn errs(e: &Expr) -> Vec<String> {
+        verify_closed(e).iter().map(|d| d.render()).collect()
+    }
+
+    #[test]
+    fn well_formed_terms_are_clean() {
+        let e = tab1("i", nat(10), mul(var("i"), var("i")));
+        assert!(errs(&e).is_empty(), "{:?}", errs(&e));
+        let e = big_union("x", gen(nat(5)), single(add(var("x"), nat(1))));
+        assert!(errs(&e).is_empty(), "{:?}", errs(&e));
+        let e = lam("A", sub(var("A"), vec![nat(0)]));
+        assert!(errs(&e).is_empty(), "{:?}", errs(&e));
+    }
+
+    #[test]
+    fn unbound_variables_are_v001() {
+        let ds = verify_closed(&var("nope"));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "V001");
+        assert!(ds[0].render().contains("unbound variable `nope`"), "{}", ds[0]);
+        // A bound occurrence is fine; an escaped one is not.
+        let e = app(lam("x", var("x")), var("y"));
+        let ds = verify_closed(&e);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].render().contains("`y`"));
+        assert_eq!(ds[0].path, "app.arg");
+    }
+
+    #[test]
+    fn concrete_type_clashes_are_v002() {
+        let e = add(nat(1), Expr::Bool(true));
+        let ds = verify_closed(&e);
+        assert!(ds.iter().any(|d| d.code == "V002"), "{ds:?}");
+        let e = iff(nat(3), nat(1), nat(2));
+        let ds = verify_closed(&e);
+        assert!(ds.iter().any(|d| d.code == "V002" && d.path == "if.cond"), "{ds:?}");
+        let e = iff(Expr::Bool(true), nat(1), strlit("x"));
+        assert!(verify_closed(&e).iter().any(|d| d.code == "V002"));
+    }
+
+    #[test]
+    fn arity_and_rank_violations() {
+        let ds = verify_closed(&Expr::Proj(0, 5, nat(1).boxed()));
+        assert!(ds.iter().any(|d| d.code == "V003"), "{ds:?}");
+        let ds = verify_closed(&proj(1, 3, tuple(vec![nat(1), nat(2), nat(3)])));
+        assert!(ds.is_empty(), "pi_1_3 of a 3-tuple is well-formed: {ds:?}");
+        let ds = verify_closed(&Expr::Proj(1, 2, tuple(vec![nat(1), nat(2), nat(3)]).boxed()));
+        assert!(ds.iter().any(|d| d.code == "V003"), "{ds:?}");
+        // Two subscripts into a 1-d tabulation.
+        let e = sub(tab1("i", nat(4), var("i")), vec![nat(0), nat(1)]);
+        let ds = verify_closed(&e);
+        assert!(ds.iter().any(|d| d.code == "V004"), "{ds:?}");
+        // dim_2 of a 1-d array.
+        let ds = verify_closed(&dim_ik(2, 2, tab1("i", nat(4), var("i"))));
+        assert!(ds.iter().any(|d| d.code == "V004"), "{ds:?}");
+        let ds = verify_closed(&Expr::Prim(Prim::MinSet, vec![nat(1), nat(2)]));
+        assert!(ds.iter().any(|d| d.code == "V007"), "{ds:?}");
+    }
+
+    #[test]
+    fn function_elements_are_v005() {
+        let ds = verify_closed(&single(lam("x", var("x"))));
+        assert!(ds.iter().any(|d| d.code == "V005"), "{ds:?}");
+    }
+
+    #[test]
+    fn literal_shape_mismatch_is_v006() {
+        let e = array_lit(vec![nat(2), nat(2)], vec![nat(1)]);
+        let ds = verify_closed(&e);
+        assert!(ds.iter().any(|d| d.code == "V006"), "{ds:?}");
+    }
+
+    #[test]
+    fn open_mode_assumes_names() {
+        let e = add(var("x"), nat(1));
+        assert!(!verify_open(&e, &[]).is_empty());
+        assert!(verify_open(&e, &[name("x")]).is_empty());
+        // Globals and externals are trusted in open mode.
+        assert!(verify_open(&global("g"), &[]).is_empty());
+        assert!(verify_open(&ext("f"), &[]).is_empty());
+    }
+
+    #[test]
+    fn check_rewrite_accepts_sound_and_rejects_unsound() {
+        // β: (λx. x + 1) 2 ~> 2 + 1 — sound.
+        let before = app(lam("x", add(var("x"), nat(1))), nat(2));
+        let after = add(nat(2), nat(1));
+        assert!(check_rewrite(&before, &after, &[]).is_ok());
+        // A rule that invents a variable.
+        let bad = add(var("ghost"), nat(1));
+        let err = check_rewrite(&before, &bad, &[]).unwrap_err();
+        assert!(err.contains("V001"), "{err}");
+        // A rule that changes the type.
+        let err = check_rewrite(&before, &Expr::Bool(true), &[]).unwrap_err();
+        assert!(err.contains("changed the redex's type"), "{err}");
+        // Free variables of the redex stay legal in the contractum.
+        let before = add(var("x"), nat(0));
+        assert!(check_rewrite(&before, &var("x"), &[]).is_ok());
+        // Binders tracked by the engine are in scope.
+        assert!(check_rewrite(&nat(0), &var("i"), &[name("i")]).is_ok());
+    }
+
+    #[test]
+    fn globals_resolve_through_the_session_env() {
+        let mut globals = HashMap::new();
+        globals.insert(name("A"), Type::array1(Type::Nat));
+        let ext = Extensions::new();
+        // A[true] — index type clash against the known global type.
+        let e = sub(global("A"), vec![Expr::Bool(true)]);
+        let ds = verify_expr(&e, &globals, &ext);
+        assert!(ds.iter().any(|d| d.code == "V002"), "{ds:?}");
+        let ok = sub(global("A"), vec![nat(3)]);
+        assert!(verify_expr(&ok, &globals, &ext).is_empty());
+        let ds = verify_expr(&global("missing"), &globals, &ext);
+        assert_eq!(ds[0].code, "V001");
+    }
+}

@@ -1,0 +1,178 @@
+//! The verifier's type lattice.
+//!
+//! The full typechecker pins λ-parameters through unification; the
+//! verifier must stay cheap and single-pass, so it works on `Type`
+//! extended with a top element `Any` (introduced at λ-parameters, `⊥`,
+//! empty collections, and unresolvable positions). Two derived types
+//! are compatible when their *meet* exists: `Any` meets everything,
+//! concrete constructors must agree. This catches every concrete
+//! clash — `nat` vs `bool`, rank-2 vs rank-1, 2-tuple vs 3-tuple —
+//! without unifier state.
+
+use std::fmt;
+use std::rc::Rc;
+
+use aql_core::types::Type;
+
+/// A partially-known NRCA type.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum VTy {
+    /// Unknown: compatible with anything.
+    Any,
+    Bool,
+    Nat,
+    Real,
+    Str,
+    Base(Rc<str>),
+    Tuple(Vec<VTy>),
+    Set(Box<VTy>),
+    Bag(Box<VTy>),
+    Array(Box<VTy>, usize),
+    Fun(Box<VTy>, Box<VTy>),
+}
+
+impl VTy {
+    /// Embed a concrete checker type. Inference variables (left over
+    /// only in genuinely ambiguous terms) map to `Any`.
+    pub(crate) fn from_type(t: &Type) -> VTy {
+        match t {
+            Type::Bool => VTy::Bool,
+            Type::Nat => VTy::Nat,
+            Type::Real => VTy::Real,
+            Type::Str => VTy::Str,
+            Type::Base(b) => VTy::Base(b.clone()),
+            Type::Tuple(ts) => VTy::Tuple(ts.iter().map(VTy::from_type).collect()),
+            Type::Set(e) => VTy::Set(Box::new(VTy::from_type(e))),
+            Type::Bag(e) => VTy::Bag(Box::new(VTy::from_type(e))),
+            Type::Array(e, k) => VTy::Array(Box::new(VTy::from_type(e)), *k),
+            Type::Fun(a, b) => {
+                VTy::Fun(Box::new(VTy::from_type(a)), Box::new(VTy::from_type(b)))
+            }
+            Type::Var(_) => VTy::Any,
+        }
+    }
+
+    /// `N^k` as a verifier type.
+    pub(crate) fn nat_power(k: usize) -> VTy {
+        if k <= 1 {
+            VTy::Nat
+        } else {
+            VTy::Tuple(vec![VTy::Nat; k])
+        }
+    }
+
+    /// The greatest lower bound, or `None` when the two types are
+    /// incompatible (a concrete constructor clash somewhere).
+    pub(crate) fn meet(&self, other: &VTy) -> Option<VTy> {
+        match (self, other) {
+            (VTy::Any, t) => Some(t.clone()),
+            (t, VTy::Any) => Some(t.clone()),
+            (VTy::Bool, VTy::Bool) => Some(VTy::Bool),
+            (VTy::Nat, VTy::Nat) => Some(VTy::Nat),
+            (VTy::Real, VTy::Real) => Some(VTy::Real),
+            (VTy::Str, VTy::Str) => Some(VTy::Str),
+            (VTy::Base(x), VTy::Base(y)) if x == y => Some(VTy::Base(x.clone())),
+            (VTy::Tuple(xs), VTy::Tuple(ys)) if xs.len() == ys.len() => {
+                let ms: Option<Vec<VTy>> =
+                    xs.iter().zip(ys).map(|(x, y)| x.meet(y)).collect();
+                Some(VTy::Tuple(ms?))
+            }
+            (VTy::Set(x), VTy::Set(y)) => Some(VTy::Set(Box::new(x.meet(y)?))),
+            (VTy::Bag(x), VTy::Bag(y)) => Some(VTy::Bag(Box::new(x.meet(y)?))),
+            (VTy::Array(x, j), VTy::Array(y, k)) if j == k => {
+                Some(VTy::Array(Box::new(x.meet(y)?), *j))
+            }
+            (VTy::Fun(xa, xr), VTy::Fun(ya, yr)) => {
+                Some(VTy::Fun(Box::new(xa.meet(ya)?), Box::new(xr.meet(yr)?)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Does the type *definitely* contain a function arrow? (`Any`
+    /// positions might, but the verifier only flags certainties.)
+    pub(crate) fn contains_arrow(&self) -> bool {
+        match self {
+            VTy::Fun(..) => true,
+            VTy::Any | VTy::Bool | VTy::Nat | VTy::Real | VTy::Str | VTy::Base(_) => false,
+            VTy::Tuple(ts) => ts.iter().any(VTy::contains_arrow),
+            VTy::Set(t) | VTy::Bag(t) | VTy::Array(t, _) => t.contains_arrow(),
+        }
+    }
+
+    /// Is the type definitely *not* numeric (`nat`/`real`)?
+    pub(crate) fn definitely_non_numeric(&self) -> bool {
+        !matches!(self, VTy::Any | VTy::Nat | VTy::Real)
+    }
+}
+
+impl fmt::Display for VTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VTy::Any => write!(f, "_"),
+            VTy::Bool => write!(f, "bool"),
+            VTy::Nat => write!(f, "nat"),
+            VTy::Real => write!(f, "real"),
+            VTy::Str => write!(f, "string"),
+            VTy::Base(b) => write!(f, "{b}"),
+            VTy::Tuple(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    match t {
+                        VTy::Tuple(_) | VTy::Fun(..) => write!(f, "({t})")?,
+                        _ => write!(f, "{t}")?,
+                    }
+                }
+                Ok(())
+            }
+            VTy::Set(t) => write!(f, "{{{t}}}"),
+            VTy::Bag(t) => write!(f, "{{|{t}|}}"),
+            VTy::Array(t, k) => write!(f, "[[{t}]]_{k}"),
+            VTy::Fun(s, t) => match &**s {
+                VTy::Fun(..) => write!(f, "({s}) -> {t}"),
+                _ => write!(f, "{s} -> {t}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meet_laws() {
+        let nat = VTy::Nat;
+        assert_eq!(VTy::Any.meet(&nat), Some(VTy::Nat));
+        assert_eq!(nat.meet(&VTy::Any), Some(VTy::Nat));
+        assert_eq!(nat.meet(&VTy::Bool), None);
+        // Rank and arity clashes are concrete.
+        let a1 = VTy::Array(Box::new(VTy::Any), 1);
+        let a2 = VTy::Array(Box::new(VTy::Nat), 2);
+        assert_eq!(a1.meet(&a2), None);
+        let t2 = VTy::Tuple(vec![VTy::Nat, VTy::Any]);
+        let t3 = VTy::Tuple(vec![VTy::Nat, VTy::Nat, VTy::Nat]);
+        assert_eq!(t2.meet(&t3), None);
+        // Meets refine unknowns component-wise.
+        let m = t2.meet(&VTy::Tuple(vec![VTy::Any, VTy::Real])).unwrap();
+        assert_eq!(m, VTy::Tuple(vec![VTy::Nat, VTy::Real]));
+    }
+
+    #[test]
+    fn from_type_maps_vars_to_any() {
+        let t = Type::set(Type::Var(7));
+        assert_eq!(VTy::from_type(&t), VTy::Set(Box::new(VTy::Any)));
+        assert_eq!(VTy::from_type(&Type::nat_power(3)), VTy::nat_power(3));
+    }
+
+    #[test]
+    fn arrow_and_numeric_classification() {
+        assert!(VTy::Set(Box::new(VTy::Fun(Box::new(VTy::Nat), Box::new(VTy::Nat))))
+            .contains_arrow());
+        assert!(!VTy::Set(Box::new(VTy::Any)).contains_arrow());
+        assert!(!VTy::Any.definitely_non_numeric());
+        assert!(VTy::Str.definitely_non_numeric());
+    }
+}

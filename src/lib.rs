@@ -2,8 +2,9 @@
 //!
 //! Re-exports the full AQL system: the NRCA core calculus
 //! ([`aql_core`]), the surface language and session ([`aql_lang`]),
-//! the optimizer ([`aql_opt`]), the NetCDF driver ([`aql_netcdf`])
-//! and the query-lifecycle tracer ([`aql_trace`]).
+//! the optimizer ([`aql_opt`]), the IR verifier and lint pass
+//! ([`aql_verify`]), the NetCDF driver ([`aql_netcdf`]) and the
+//! query-lifecycle tracer ([`aql_trace`]).
 //!
 //! This is a from-scratch Rust reproduction of *Libkin, Machlin &
 //! Wong, "A Query Language for Multidimensional Arrays: Design,
@@ -18,3 +19,4 @@ pub use aql_lang as lang;
 pub use aql_netcdf as netcdf;
 pub use aql_opt as opt;
 pub use aql_trace as trace;
+pub use aql_verify as verify;

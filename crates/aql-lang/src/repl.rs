@@ -14,6 +14,20 @@ pub const PROMPT: &str = ": ";
 /// The continuation prompt (as in the paper's transcript).
 pub const CONT_PROMPT: &str = ":: ";
 
+/// The `\help` listing: every meta-command the loop understands.
+const HELP: &str = "\
+meta-commands:
+  vals;                    list bound vals with their types
+  macros;                  list registered macros
+  \\explain <query>;        show the core/optimized terms and rule fires
+  \\lint <query>;           run the shape/bounds lints without evaluating
+  \\profile <statements>    run with tracing on and print the phase tree
+  \\metrics;                print the process-lifetime metrics registry
+  \\metrics serve [addr];   serve Prometheus exposition (default 127.0.0.1:0)
+  \\help;                   this listing
+  quit / exit              leave the session
+";
+
 /// Drive a session from a reader to a writer until EOF. Returns the
 /// number of statements executed successfully.
 pub fn run_repl(
@@ -95,6 +109,35 @@ pub fn run_repl(
                     write!(output, "{}", report.render_profile(false))?;
                 }
                 Err(e) => writeln!(output, "error: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
+        // `\help;` lists the meta-commands.
+        if trimmed_stmt == "\\help;" {
+            write!(output, "{HELP}")?;
+            pending.clear();
+            continue;
+        }
+        // `\metrics serve [addr];` starts the Prometheus endpoint (it
+        // outlives the REPL by design — the registry is
+        // process-lifetime, so the scrape target stays up).
+        if let Some(rest) = trimmed_stmt.strip_prefix("\\metrics serve") {
+            let addr = rest.trim_end().trim_end_matches(';').trim();
+            let addr = if addr.is_empty() { "127.0.0.1:0" } else { addr };
+            match aql_metrics::http::serve(addr) {
+                Ok(server) => {
+                    writeln!(output, "metrics: serving http://{}/metrics", server.addr())?;
+                }
+                Err(e) => writeln!(output, "error: cannot serve metrics on `{addr}`: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
+        // `\metrics;` dumps the registry: one `series value` per line.
+        if trimmed_stmt == "\\metrics;" {
+            for (k, v) in aql_metrics::snapshot() {
+                writeln!(output, "{k} {v}")?;
             }
             pending.clear();
             continue;
@@ -322,6 +365,57 @@ mod tests {
         let text = redacted_transcript("\\profile 1 + true;\n2 + 2;\n");
         assert!(text.contains("error:"), "{text}");
         assert!(text.contains("val it = 4"), "the REPL keeps running: {text}");
+    }
+
+    #[test]
+    fn backslash_help_lists_every_meta_command() {
+        let text = redacted_transcript("\\help;\n1 + 1;\n");
+        for cmd in
+            ["vals;", "macros;", "\\explain", "\\lint", "\\profile", "\\metrics", "\\help", "quit"]
+        {
+            assert!(text.contains(cmd), "`{cmd}` missing from \\help: {text}");
+        }
+        assert!(text.contains("val it = 2"), "the REPL keeps running: {text}");
+        // Golden: the help text is a constant, so two fresh sessions
+        // must render identically.
+        assert_eq!(text, redacted_transcript("\\help;\n1 + 1;\n"));
+    }
+
+    #[test]
+    fn backslash_metrics_dumps_the_registry() {
+        let text = redacted_transcript("6 * 7;\n\\metrics;\n");
+        assert!(text.contains("val it = 42"), "{text}");
+        assert!(
+            text.contains("aql_session_statements_total{kind=\"query\"}"),
+            "statement counters must appear: {text}"
+        );
+        assert!(
+            text.contains("aql_session_statement_ns_count"),
+            "latency histogram summaries must appear: {text}"
+        );
+    }
+
+    #[test]
+    fn backslash_metrics_serve_answers_scrapes() {
+        use std::io::Read as _;
+        let mut s = Session::new();
+        let input = "\\metrics serve 127.0.0.1:0;\n1 + 1;\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let addr = text
+            .lines()
+            .find_map(|l| l.split("metrics: serving http://").nth(1))
+            .and_then(|l| l.strip_suffix("/metrics"))
+            .unwrap_or_else(|| panic!("no serving line in {text}"))
+            .to_string();
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        conn.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        assert!(body.contains("# TYPE aql_session_statements_total counter"), "{body}");
     }
 
     #[test]

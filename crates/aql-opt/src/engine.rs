@@ -12,6 +12,27 @@ use std::rc::Rc;
 
 use aql_core::expr::{Expr, Name};
 
+/// Process-lifetime count of optimizer passes run to fixpoint.
+static M_PASSES: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_opt_passes_total",
+    "Optimizer fixpoint passes executed.",
+);
+
+/// Bump the `(phase, rule)`-labelled unsound-rewrite counter. Fires
+/// are frequent enough to gate on [`aql_metrics::enabled`]; unsound
+/// rewrites are exceptional, so the lookup cost is irrelevant — but
+/// an operator watching `/metrics` must see them.
+fn bump_unsound_metric(phase: &str, rule: &str) {
+    if aql_metrics::enabled() {
+        aql_metrics::counter_with(
+            "aql_opt_unsound_total",
+            &[("phase", phase), ("rule", rule)],
+            "Rewrites rejected by the soundness gate, by (phase, rule).",
+        )
+        .inc();
+    }
+}
+
 /// A rewrite rule. `apply` inspects only the *root* of the given
 /// expression and returns the replacement if the rule fires; the
 /// engine handles traversal. Rules must be semantics-preserving (for
@@ -311,6 +332,7 @@ impl Phase {
             )?;
             drop(pass_span);
             aql_trace::count("opt.passes", 1);
+            M_PASSES.inc();
             if fired == 0 {
                 break;
             }
@@ -318,6 +340,7 @@ impl Phase {
         if let (Some(check), Some(rule)) = (gate.phase_check, last_fired) {
             if let Err(message) = check(&cur) {
                 aql_trace::count_with(|| format!("unsound:{}/{rule}", self.name), 1);
+                bump_unsound_metric(&self.name, rule);
                 return Err(OptError::Unsound(SoundnessViolation {
                     phase: self.name.clone(),
                     rule,
@@ -355,6 +378,7 @@ impl Phase {
                                 || format!("unsound:{}/{}", self.name, r.name()),
                                 1,
                             );
+                            bump_unsound_metric(&self.name, r.name());
                             return Err(OptError::Unsound(SoundnessViolation {
                                 phase: self.name.clone(),
                                 rule: r.name(),
@@ -374,6 +398,14 @@ impl Phase {
                         || format!("fire:{}/{}", self.name, r.name()),
                         1,
                     );
+                    if aql_metrics::enabled() {
+                        aql_metrics::counter_with(
+                            "aql_opt_rule_fires_total",
+                            &[("phase", &self.name), ("rule", r.name())],
+                            "Optimizer rule applications, by (phase, rule).",
+                        )
+                        .inc();
+                    }
                     *fired += 1;
                     *last_fired = Some(r.name());
                     cur = next;

@@ -35,10 +35,12 @@ fn write_profile_artifact() {
     .expect("bind");
     let (_, report) = s.profile(query).expect("profiled workload");
 
-    let json = format!(
-        "{{\n  \"bench\": \"experiments\",\n  \"profile_workload\": \
-         \"subslab-scan\",\n  \"report\": {}\n}}\n",
-        report.to_json()
+    let json = aql_bench::report::render_artifact(
+        "experiments",
+        &[
+            ("profile_workload", "\"subslab-scan\"".to_string()),
+            ("report", report.to_json()),
+        ],
     );
     std::fs::write("BENCH_experiments.json", json).expect("BENCH_experiments.json");
     println!("wrote BENCH_experiments.json (profiled subslab-scan report)");

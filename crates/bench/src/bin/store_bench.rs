@@ -15,6 +15,10 @@
 //! instrumentation hooks against a traced run of the same workload and
 //! fails loudly if tracing-enabled wall time exceeds the untraced time
 //! by more than 5% (min-of-N, so scheduler noise doesn't flake it).
+//!
+//! `--metrics-overhead` prices the always-on metrics hooks the same
+//! way: the workload with metric recording globally disabled vs.
+//! enabled, with a 3% budget.
 
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -106,15 +110,14 @@ fn profile_report(path: &str, reader: &Config, query: &str) -> QueryReport {
 
 fn json_escape_free(rows: &[Row]) -> String {
     // All emitted strings are static identifiers — no escaping needed.
-    let mut out = String::from("{\n  \"bench\": \"store\",\n  \"full_variable_bytes\": ");
-    let _ = write!(out, "{FULL_BYTES},\n  \"rows\": [\n");
+    let mut arr = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         let hr = match r.hit_rate {
             Some(h) => format!("{h:.4}"),
             None => "null".to_string(),
         };
         let _ = writeln!(
-            out,
+            arr,
             "    {{\"config\": \"{}\", \"pattern\": \"{}\", \"wall_us\": {}, \
              \"bytes_read\": {}, \"hit_rate\": {}, \"report\": {}}}{}",
             r.config,
@@ -126,8 +129,11 @@ fn json_escape_free(rows: &[Row]) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
-    out.push_str("  ]\n}\n");
-    out
+    arr.push_str("  ]");
+    aql_bench::report::render_artifact(
+        "store",
+        &[("full_variable_bytes", FULL_BYTES.to_string()), ("rows", arr)],
+    )
 }
 
 /// `--trace-overhead`: run the subslab-scan workload with tracing off
@@ -192,6 +198,67 @@ fn trace_overhead_check(path: &str) {
     println!("trace overhead within the 5% budget");
 }
 
+/// `--metrics-overhead`: time the subslab-scan workload with metric
+/// recording globally off vs. on (the default) and fail loudly if the
+/// metrics-on wall time exceeds metrics-off by more than 3%. This
+/// prices the always-on hooks — phase/statement timers, statement
+/// counters, the store/NetCDF counter bumps — not the endpoint or the
+/// slow log, which are opt-in.
+fn metrics_overhead_check(path: &str) {
+    const TRIALS: usize = 7;
+    const ITERS: usize = 40;
+    let query = "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }";
+
+    let make_session = || {
+        let mut s = Session::new();
+        s.register_reader("NC", Rc::new(reader_lazy_4m()));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+
+    let time_iters = |s: &mut Session| -> u128 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            s.eval_query(query).expect("query");
+        }
+        t0.elapsed().as_micros()
+    };
+
+    let mut s_off = make_session();
+    let mut s_on = make_session();
+    // Warm-up: chunk caches, file cache, branch predictors.
+    time_iters(&mut s_off);
+    time_iters(&mut s_on);
+
+    let mut best_off = u128::MAX;
+    let mut best_on = u128::MAX;
+    for _ in 0..TRIALS {
+        aql_metrics::set_enabled(false);
+        best_off = best_off.min(time_iters(&mut s_off));
+        aql_metrics::set_enabled(true);
+        best_on = best_on.min(time_iters(&mut s_on));
+    }
+    aql_metrics::set_enabled(true);
+
+    let ratio = best_on as f64 / best_off as f64;
+    println!(
+        "metrics overhead: off {best_off}µs vs on {best_on}µs \
+         (best of {TRIALS} × {ITERS} queries) — ratio {ratio:.4}"
+    );
+    // 3% relative plus a small absolute allowance so sub-millisecond
+    // jitter on a fast machine cannot flake the check.
+    assert!(
+        best_on as f64 <= best_off as f64 * 1.03 + 500.0,
+        "METRICS OVERHEAD BUDGET EXCEEDED: metrics-on runs are {:.2}% slower \
+         than metrics-off (budget: 3%)",
+        (ratio - 1.0) * 100.0
+    );
+    println!("metrics overhead within the 3% budget");
+}
+
 fn main() {
     let dir = std::env::temp_dir().join(format!("aql-store-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmpdir");
@@ -201,6 +268,11 @@ fn main() {
 
     if std::env::args().any(|a| a == "--trace-overhead") {
         trace_overhead_check(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    if std::env::args().any(|a| a == "--metrics-overhead") {
+        metrics_overhead_check(&path);
         std::fs::remove_dir_all(&dir).ok();
         return;
     }

@@ -16,6 +16,7 @@
 
 pub mod env;
 pub mod experiments;
+pub mod report;
 pub mod table;
 pub mod workload;
 

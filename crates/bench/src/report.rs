@@ -1,0 +1,60 @@
+//! Shared serialization of the `BENCH_*.json` artifacts.
+//!
+//! Every bench binary that writes an artifact goes through
+//! [`render_artifact`], so all artifacts carry the same envelope: a
+//! `schema_version` (bumped whenever any field changes meaning), the
+//! `bench` name, then the bench-specific fields. Downstream tooling
+//! dispatches on the version instead of sniffing field shapes. The
+//! current layout is documented in EXPERIMENTS.md.
+
+/// Version of the `BENCH_*.json` envelope. History:
+/// * 1 — implicit (no `schema_version` member): `bench` + ad-hoc fields.
+/// * 2 — the envelope below; `QueryReport` values carry a `metrics`
+///   member (the process-lifetime registry snapshot).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Render one artifact: the shared envelope followed by `fields`, each
+/// a `(name, pre-rendered JSON value)` pair, in the given order.
+/// `bench` and the field names must not need JSON escaping (they are
+/// static identifiers in every caller).
+pub fn render_artifact(bench: &str, fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"bench\": \"{bench}\""));
+    for (k, v) in fields {
+        out.push_str(&format!(",\n  \"{k}\": {v}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aql_trace::json::Json;
+
+    #[test]
+    fn envelope_is_valid_json_with_version_first() {
+        let s = render_artifact(
+            "store",
+            &[("count", "3".to_string()), ("rows", "[1, 2, 3]".to_string())],
+        );
+        let j = Json::parse(&s).expect("artifact must parse");
+        assert_eq!(
+            j.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("store"));
+        assert_eq!(j.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("rows").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        // The version is the envelope's first member, so even a
+        // line-oriented reader can dispatch before parsing fully.
+        assert!(s.trim_start().starts_with("{\n  \"schema_version\":"), "{s}");
+    }
+
+    #[test]
+    fn envelope_with_no_extra_fields() {
+        let j = Json::parse(&render_artifact("empty", &[])).expect("must parse");
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("empty"));
+    }
+}

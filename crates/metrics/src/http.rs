@@ -1,0 +1,158 @@
+//! A dependency-free Prometheus scrape endpoint.
+//!
+//! [`serve`] binds a `std::net::TcpListener`, spawns one responder
+//! thread, and answers `GET /metrics` with
+//! [`render_prometheus`](crate::render_prometheus) output. Anything
+//! else gets a 404. One request per connection (`Connection: close`),
+//! which is exactly the Prometheus scrape model; there is no TLS, no
+//! keep-alive, no routing — operators who need those put a real proxy
+//! in front.
+//!
+//! The returned [`MetricsServer`] does **not** stop the endpoint when
+//! dropped — metrics are process-lifetime, and the REPL hands the
+//! handle around freely. Call [`MetricsServer::stop`] for an orderly
+//! shutdown (tests do; long-running sessions typically never do).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running exposition endpoint.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl MetricsServer {
+    /// The address actually bound (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the responder thread to exit. Idempotent; the thread wakes
+    /// via a self-connection, so a stopped server releases its port
+    /// promptly.
+    pub fn stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` so the thread observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
+/// serve `GET /metrics` from a background thread.
+pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    std::thread::Builder::new()
+        .name("aql-metrics-http".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let _ = respond(stream);
+                }
+            }
+        })?;
+    Ok(MetricsServer { addr: local, stop })
+}
+
+/// Read one request head (bounded) and write the response.
+fn respond(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the blank line ending the request head, or 8 KiB.
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .ok()
+        .and_then(|s| s.lines().next())
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method == "GET"
+        && (path == "/metrics" || path.starts_with("/metrics?"))
+    {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::render_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try GET /metrics\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One full HTTP exchange against `addr`; returns the raw response.
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        crate::counter("t_http_requests_total", "Test.").add(3);
+        let server = serve("127.0.0.1:0").expect("bind");
+        let ok = fetch(server.addr(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("t_http_requests_total 3"), "{ok}");
+        let missing = fetch(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.stop();
+        server.stop(); // idempotent
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let resp = fetch(server.addr(), "/metrics");
+        let (head, body) = resp.split_once("\r\n\r\n").expect("head/body");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .parse()
+            .expect("numeric");
+        assert_eq!(len, body.len());
+        server.stop();
+    }
+}

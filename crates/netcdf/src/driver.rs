@@ -48,8 +48,13 @@ where
     S: IoSource,
     F: FnMut() -> Result<S, NcError>,
 {
+    static M_HYPERSLABS: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+        "aql_netcdf_hyperslab_requests_total",
+        "Hyperslab read requests issued to NetCDF sources.",
+    );
     let _span = aql_trace::span("netcdf.hyperslab");
     aql_trace::count("netcdf.hyperslab_requests", 1);
+    M_HYPERSLABS.inc();
     aql_trace::note("var", || var.to_string());
     retry(|| {
         let mut reader = SlabReader::from_source(open()?)?;

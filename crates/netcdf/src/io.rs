@@ -200,18 +200,31 @@ pub const RETRY_ATTEMPTS: u32 = 3;
 /// bumps `netcdf.retries` on the active `aql-trace` span, so a
 /// profiled query shows how much of its I/O time went to recovery.
 pub fn retry<T>(mut op: impl FnMut() -> Result<T, NcError>) -> Result<T, NcError> {
+    /// Process-lifetime fault/retry counters (the per-query view lives
+    /// on the trace span; these feed the `/metrics` endpoint).
+    static M_FAULTS: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+        "aql_netcdf_faults_total",
+        "NetCDF I/O operations that returned an error (pre-retry).",
+    );
+    static M_RETRIES: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+        "aql_netcdf_retries_total",
+        "NetCDF I/O attempts retried after a transient error.",
+    );
     let mut attempt = 0;
     loop {
         match op() {
             Err(e) if e.is_transient() && attempt + 1 < RETRY_ATTEMPTS => {
                 aql_trace::count("netcdf.faults", 1);
                 aql_trace::count("netcdf.retries", 1);
+                M_FAULTS.inc();
+                M_RETRIES.inc();
                 std::thread::sleep(Duration::from_millis(1u64 << attempt));
                 attempt += 1;
             }
             other => {
                 if other.is_err() {
                     aql_trace::count("netcdf.faults", 1);
+                    M_FAULTS.inc();
                 }
                 return other;
             }

@@ -66,10 +66,37 @@ pub fn global() -> CacheStats {
     GLOBAL.with(|g| g.get())
 }
 
-/// Fold `delta` into the thread-local aggregate, and mirror it into
+/// Process-lifetime cache counters, mirrored from every increment:
+/// where [`global`] answers "what did *this statement* cost" via
+/// deltas, these answer "what has this *process* done" for the
+/// `/metrics` endpoint. Cached handles keep the hot path at one flag
+/// read per zero field and one sharded `fetch_add` per nonzero one.
+static M_HITS: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_store_cache_hits_total",
+    "Chunk-cache lookups served from memory.",
+);
+static M_MISSES: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_store_cache_misses_total",
+    "Chunk-cache lookups that consulted the chunk source.",
+);
+static M_EVICTIONS: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_store_cache_evictions_total",
+    "Chunks evicted to stay under the byte budget.",
+);
+static M_BYTES: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_store_cache_bytes_read_total",
+    "Payload bytes loaded from chunk sources on misses.",
+);
+static M_LOAD_ERRORS: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_store_cache_load_errors_total",
+    "Chunk-loader invocations that returned an error.",
+);
+
+/// Fold `delta` into the thread-local aggregate, mirror it into
 /// the `aql-trace` subscriber (attached to the innermost open span)
 /// when tracing is enabled — so a profiled query's span tree carries
-/// the cache activity it caused without any cache handle plumbing.
+/// the cache activity it caused without any cache handle plumbing —
+/// and bump the process-lifetime `aql_store_cache_*` metrics.
 pub(crate) fn global_add(delta: CacheStats) {
     GLOBAL.with(|g| {
         let cur = g.get();
@@ -88,6 +115,11 @@ pub(crate) fn global_add(delta: CacheStats) {
         aql_trace::count("cache.bytes_read", delta.bytes_read);
         aql_trace::count("cache.load_errors", delta.load_errors);
     }
+    M_HITS.add(delta.hits);
+    M_MISSES.add(delta.misses);
+    M_EVICTIONS.add(delta.evictions);
+    M_BYTES.add(delta.bytes_read);
+    M_LOAD_ERRORS.add(delta.load_errors);
 }
 
 #[cfg(test)]
@@ -108,6 +140,17 @@ mod tests {
         assert_eq!(CacheStats::default().hit_rate(), None);
         let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
         assert_eq!(s.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn metrics_mirror_cache_counters() {
+        let hits = aql_metrics::counter("aql_store_cache_hits_total", "");
+        let bytes = aql_metrics::counter("aql_store_cache_bytes_read_total", "");
+        let (h0, b0) = (hits.get(), bytes.get());
+        global_add(CacheStats { hits: 3, bytes_read: 128, ..Default::default() });
+        // `>=`: other tests on other threads may be bumping too.
+        assert!(hits.get() >= h0 + 3);
+        assert!(bytes.get() >= b0 + 128);
     }
 
     #[test]

@@ -10,14 +10,34 @@
 //! `june_sunset` externals registered. Synthetic datasets are written
 //! to a temp directory and announced at startup, so paper queries can
 //! be typed directly.
+//!
+//! Observability flags:
+//! * `--metrics-addr <addr>` serves Prometheus text exposition on
+//!   `<addr>` (e.g. `127.0.0.1:9187`) for the life of the process —
+//!   same as typing `\metrics serve <addr>;` at the prompt;
+//! * `--slow-log <path>` appends a JSON-lines record for every
+//!   statement at or over the slow-query threshold;
+//! * `--slow-threshold-ms <n>` sets that threshold (default 100).
 
 use std::io::{BufReader, Write};
+use std::time::Duration;
 
 use aql::externals::{register_heatindex, register_june_sunset};
 use aql::lang::repl::run_repl;
-use aql::lang::session::Session;
+use aql::lang::session::{Session, SlowLogConfig};
 use aql::netcdf::driver::register_netcdf;
 use aql::netcdf::synth;
+
+/// The value following `flag` on the command line, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
 
 fn main() {
     let dir = std::env::temp_dir().join("aql-repl-data");
@@ -27,6 +47,29 @@ fn main() {
     register_netcdf(&mut session);
     register_heatindex(&mut session);
     register_june_sunset(&mut session);
+
+    if let Some(addr) = flag_value("--metrics-addr") {
+        let server = aql::metrics::http::serve(&*addr).expect("bind metrics endpoint");
+        println!("Serving metrics on http://{}/metrics", server.addr());
+    }
+    if let Some(path) = flag_value("--slow-log") {
+        let threshold_ms = flag_value("--slow-threshold-ms")
+            .map(|v| v.parse().expect("--slow-threshold-ms takes milliseconds"))
+            .unwrap_or(100);
+        let sink = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open slow-query log");
+        session.enable_slow_log(
+            Box::new(sink),
+            SlowLogConfig {
+                threshold: Duration::from_millis(threshold_ms),
+                sample_every: 0,
+            },
+        );
+        println!("Slow-query log ({threshold_ms}ms threshold): {path}");
+    }
 
     println!("AQL — a query language for multidimensional arrays (SIGMOD '96)");
     println!("Statements end with `;`. Type `quit` or Ctrl-D to exit.\n");

@@ -3,8 +3,9 @@
 //! Re-exports the full AQL system: the NRCA core calculus
 //! ([`aql_core`]), the surface language and session ([`aql_lang`]),
 //! the optimizer ([`aql_opt`]), the IR verifier and lint pass
-//! ([`aql_verify`]), the NetCDF driver ([`aql_netcdf`]) and the
-//! query-lifecycle tracer ([`aql_trace`]).
+//! ([`aql_verify`]), the NetCDF driver ([`aql_netcdf`]), the
+//! query-lifecycle tracer ([`aql_trace`]) and the process-lifetime
+//! metrics registry ([`aql_metrics`]).
 //!
 //! This is a from-scratch Rust reproduction of *Libkin, Machlin &
 //! Wong, "A Query Language for Multidimensional Arrays: Design,
@@ -16,6 +17,7 @@ pub mod externals;
 
 pub use aql_core as core;
 pub use aql_lang as lang;
+pub use aql_metrics as metrics;
 pub use aql_netcdf as netcdf;
 pub use aql_opt as opt;
 pub use aql_trace as trace;

@@ -19,6 +19,12 @@
 //! `--metrics-overhead` prices the always-on metrics hooks the same
 //! way: the workload with metric recording globally disabled vs.
 //! enabled, with a 3% budget.
+//!
+//! `--resilience-overhead` prices the fault-tolerance stack on its
+//! happy path: the workload with the retry/breaker wrapper stripped
+//! from the chunk source vs. the default resilient driver (governor
+//! unlimited, no faults firing), with a 1% budget. Cache hits bypass
+//! the whole stack, so this bounds what PR 6 costs a healthy system.
 
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -259,6 +265,70 @@ fn metrics_overhead_check(path: &str) {
     println!("metrics overhead within the 3% budget");
 }
 
+/// `--resilience-overhead`: time the subslab-scan workload with the
+/// resilience stack disabled (`resilience: None`, raw chunk source)
+/// vs. enabled with the default policy (retry + breaker + checksum
+/// verification + governor charging, all on their no-fault paths) and
+/// fail loudly if the resilient wall time exceeds the raw one by more
+/// than 1%. The budget is deliberately tight: breaker accounting and
+/// governor charging run only on cache misses, and cache hits must
+/// stay completely untouched.
+fn resilience_overhead_check(path: &str) {
+    const TRIALS: usize = 7;
+    const ITERS: usize = 40;
+    let query = "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }";
+
+    let make_session = |resilient: bool| {
+        let mut s = Session::new();
+        let mut r = reader_lazy_4m();
+        if !resilient {
+            r.resilience = None;
+        }
+        s.register_reader("NC", Rc::new(r));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+
+    let time_iters = |s: &mut Session| -> u128 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            s.eval_query(query).expect("query");
+        }
+        t0.elapsed().as_micros()
+    };
+
+    let mut s_off = make_session(false);
+    let mut s_on = make_session(true);
+    // Warm-up: chunk caches, file cache, branch predictors.
+    time_iters(&mut s_off);
+    time_iters(&mut s_on);
+
+    let mut best_off = u128::MAX;
+    let mut best_on = u128::MAX;
+    for _ in 0..TRIALS {
+        best_off = best_off.min(time_iters(&mut s_off));
+        best_on = best_on.min(time_iters(&mut s_on));
+    }
+
+    let ratio = best_on as f64 / best_off as f64;
+    println!(
+        "resilience overhead: raw {best_off}µs vs resilient {best_on}µs \
+         (best of {TRIALS} × {ITERS} queries) — ratio {ratio:.4}"
+    );
+    // 1% relative plus a small absolute allowance so sub-millisecond
+    // jitter on a fast machine cannot flake the check.
+    assert!(
+        best_on as f64 <= best_off as f64 * 1.01 + 500.0,
+        "RESILIENCE OVERHEAD BUDGET EXCEEDED: resilient runs are {:.2}% slower \
+         than raw (budget: 1%)",
+        (ratio - 1.0) * 100.0
+    );
+    println!("resilience overhead within the 1% budget");
+}
+
 fn main() {
     let dir = std::env::temp_dir().join(format!("aql-store-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmpdir");
@@ -273,6 +343,11 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--metrics-overhead") {
         metrics_overhead_check(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    if std::env::args().any(|a| a == "--resilience-overhead") {
+        resilience_overhead_check(&path);
         std::fs::remove_dir_all(&dir).ok();
         return;
     }

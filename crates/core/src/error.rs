@@ -98,6 +98,10 @@ pub enum EvalError {
     /// store (I/O failure or corrupt chunk data). `transient` carries
     /// the storage layer's retry classification.
     Storage { message: String, transient: bool },
+    /// The process-wide byte budget (see `aql_store::governor`) could
+    /// not admit an allocation even after shedding cache residency.
+    /// Fails this one statement; the session and its bindings survive.
+    ResourceExhausted { requested: u64, budget: u64 },
     /// An internal invariant of the evaluator was violated (e.g. a
     /// compiled de-Bruijn index outran the environment). Always a bug
     /// in compilation or optimization, never a user error — but
@@ -127,6 +131,10 @@ impl fmt::Display for EvalError {
                 "array storage failure{}: {message}",
                 if *transient { " (transient)" } else { "" }
             ),
+            EvalError::ResourceExhausted { requested, budget } => write!(
+                f,
+                "process memory budget exhausted: {requested} bytes requested, budget {budget}"
+            ),
             EvalError::Internal(m) => write!(f, "internal evaluator error: {m}"),
         }
     }
@@ -146,6 +154,23 @@ impl From<aql_store::StoreError> for EvalError {
             // Shape errors indicate the layout and the access disagree
             // — a bug in the binding code, not a user-visible failure.
             aql_store::StoreError::Shape(m) => EvalError::Internal(format!("storage shape: {m}")),
+            aql_store::StoreError::Budget { requested, budget } => {
+                EvalError::ResourceExhausted { requested, budget }
+            }
+            // A breaker fast-fail is worth retrying after its
+            // cool-down, so it surfaces as a transient storage error.
+            aql_store::StoreError::Unavailable { source, retry_after_ms } => EvalError::Storage {
+                message: format!(
+                    "chunk source `{source}` unavailable (circuit open, retry in {retry_after_ms}ms)"
+                ),
+                transient: true,
+            },
+            aql_store::StoreError::Interrupted(aql_store::Interrupt::Deadline) => {
+                EvalError::Deadline
+            }
+            aql_store::StoreError::Interrupted(aql_store::Interrupt::Cancelled) => {
+                EvalError::Cancelled
+            }
         }
     }
 }

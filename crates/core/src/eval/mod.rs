@@ -267,6 +267,11 @@ impl<'a> EvalCtx<'a> {
         if requested > self.limits.max_elems {
             return Err(EvalError::ResourceLimit { requested, limit: self.limits.max_elems });
         }
+        // Process-wide admission: an eager materialization that could
+        // never fit the governor's byte budget is denied before any
+        // allocation happens (8 bytes per element — every scalar kind
+        // except Bool, which only over-estimates).
+        aql_store::governor::admit_materialization(requested.saturating_mul(8))?;
         // Every materialization site (gen / tabulation / array literal
         // / index) passes through this budget check, so it doubles as
         // the materialized-elements profile counter.
@@ -283,6 +288,12 @@ impl<'a> EvalCtx<'a> {
 /// `aql-store`).
 pub fn eval(e: &Expr, ctx: &EvalCtx) -> Result<Value, EvalError> {
     let c = compile(e)?;
+    // Make the statement's deadline/cancellation visible to the
+    // storage layer for the duration of the evaluation: chunk-load
+    // waits (retry backoff, slow sources) poll these hooks, so a hung
+    // source cannot outlive its `Limits` (satellite of DESIGN.md §12).
+    let _interrupts =
+        aql_store::interrupt::install(ctx.deadline, ctx.limits.cancel.clone());
     let out = eval_compiled(&c, &Env::empty(), ctx);
     if aql_trace::enabled() {
         let s = ctx.stats();

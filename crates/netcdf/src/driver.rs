@@ -26,7 +26,10 @@ use aql_lang::errors::LangError;
 use aql_lang::reader::Reader;
 use aql_lang::session::Session;
 
-use aql_store::{ChunkLayout, LazyArray, ScalarKind};
+use aql_store::{
+    ChunkFaultPlan, ChunkLayout, ChunkSource, FaultyChunkSource, LazyArray, ResiliencePolicy,
+    ResilientSource, ScalarKind,
+};
 
 use crate::chunk::NcChunkSource;
 use crate::io::{retry, IoSource};
@@ -80,6 +83,15 @@ pub const DEFAULT_CACHE_BUDGET: u64 = 4 << 20;
 /// query touches ever leave disk. The *eager* mode materializes the
 /// whole subslab at `readval` time (the historical behavior; still
 /// useful when the file will be deleted before the values are used).
+///
+/// Lazily bound chunk sources are wrapped in the `aql-store`
+/// resilience stack by default ([`ResilientSource`]: retry with
+/// jittered backoff, a per-source circuit breaker labelled
+/// `netcdf:{variable}`, checksum verification when available); set
+/// [`resilience`](NetcdfSlabReader::resilience) to `None` to bind the
+/// raw source. The [`chaos`](NetcdfSlabReader::chaos) plan — injected
+/// *inside* the resilience wrapper — exists for the chaos harness and
+/// fault-tolerance tests; production readers leave it `None`.
 pub struct NetcdfSlabReader {
     /// The dimensionality this reader serves.
     pub k: usize,
@@ -87,18 +99,29 @@ pub struct NetcdfSlabReader {
     pub lazy: bool,
     /// Chunk-cache byte budget for lazily bound arrays.
     pub cache_budget: u64,
+    /// Resilience stack for lazily bound sources; `None` binds raw.
+    pub resilience: Option<ResiliencePolicy>,
+    /// Chunk-level fault injection between the resilience stack and
+    /// the real source (tests only).
+    pub chaos: Option<ChunkFaultPlan>,
 }
 
 impl NetcdfSlabReader {
     /// A lazily binding reader for dimensionality `k` with the
     /// default cache budget.
     pub fn lazy(k: usize) -> NetcdfSlabReader {
-        NetcdfSlabReader { k, lazy: true, cache_budget: DEFAULT_CACHE_BUDGET }
+        NetcdfSlabReader {
+            k,
+            lazy: true,
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            resilience: Some(ResiliencePolicy::default()),
+            chaos: None,
+        }
     }
 
     /// An eagerly materializing reader for dimensionality `k`.
     pub fn eager(k: usize) -> NetcdfSlabReader {
-        NetcdfSlabReader { k, lazy: false, cache_budget: DEFAULT_CACHE_BUDGET }
+        NetcdfSlabReader { lazy: false, ..NetcdfSlabReader::lazy(k) }
     }
     fn parse_bound(v: &Value, k: usize, which: &str) -> Result<Vec<u64>, LangError> {
         let idx = v
@@ -206,15 +229,23 @@ impl Reader for NetcdfSlabReader {
 
         let layout = ChunkLayout::row_major(count, DEFAULT_CHUNK_ELEMS)
             .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
-        let source = NcChunkSource::new(
+        let label = format!("netcdf:{varname}");
+        let mut source: Box<dyn ChunkSource> = Box::new(NcChunkSource::new(
             move || {
                 Ok(std::io::BufReader::new(std::fs::File::open(&file).map_err(NcError::from)?))
             },
             varname,
             lo,
-        );
-        let lazy =
-            LazyArray::new(layout, ScalarKind::F64, Box::new(source), self.cache_budget);
+        ));
+        // Chaos injection sits *inside* the resilience stack, so the
+        // stack is what the injected faults exercise.
+        if let Some(plan) = self.chaos.clone() {
+            source = Box::new(FaultyChunkSource::new(source, plan));
+        }
+        if let Some(policy) = self.resilience.clone() {
+            source = Box::new(ResilientSource::new(source, label, policy));
+        }
+        let lazy = LazyArray::new(layout, ScalarKind::F64, source, self.cache_budget);
         let arr = ArrayVal::lazy(lazy)
             .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
         Ok((Value::Array(Rc::new(arr)), Some(Type::array(Type::Real, k))))
@@ -557,6 +588,52 @@ mod tests {
         assert_eq!(attempts, 1);
         assert!(!err.is_transient());
         assert!(err.to_string().contains("injected persistent"), "context kept: {err}");
+    }
+
+    #[test]
+    fn chaos_faults_are_absorbed_by_resilience() {
+        let dir = tmpdir();
+        let path = dir.join("c.nc");
+        write_sample(&path);
+        let mut r = NetcdfSlabReader::lazy(2);
+        // Op 0 fails transiently, op 1 serves corrupted bytes; the
+        // resilience stack retries through both (checksum verification
+        // catches the corruption) and op 2 serves clean data.
+        r.chaos = Some(ChunkFaultPlan {
+            transient_ops: [0u64].into_iter().collect(),
+            corrupt_ops: [1u64].into_iter().collect(),
+            ..ChunkFaultPlan::default()
+        });
+        let arg = Value::tuple(vec![
+            Value::str(path.to_str().unwrap()),
+            Value::str("temp"),
+            Value::tuple(vec![Value::Nat(0), Value::Nat(0)]),
+            Value::tuple(vec![Value::Nat(3), Value::Nat(2)]),
+        ]);
+        let (v, _) = r.read(&arg).unwrap();
+        let a = v.as_array().unwrap();
+        assert!(a.is_lazy());
+        for i in 0..4u64 {
+            for j in 0..3u64 {
+                assert_eq!(
+                    a.get(&[i, j]).unwrap(),
+                    Value::Real((i * 3 + j) as f64),
+                    "clean value served at ({i}, {j}) despite injected faults"
+                );
+            }
+        }
+        // Same faults with the resilience stack stripped: the first
+        // touch surfaces the raw injected error instead.
+        let mut raw = NetcdfSlabReader::lazy(2);
+        raw.resilience = None;
+        raw.chaos = Some(ChunkFaultPlan {
+            transient_ops: [0u64].into_iter().collect(),
+            ..ChunkFaultPlan::default()
+        });
+        let (v, _) = raw.read(&arg).unwrap();
+        let a = v.as_array().unwrap();
+        assert!(a.try_get(&[0, 0]).is_err(), "no retry without the stack");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::rc::Rc;
 
 use crate::buffer::ScalarBuf;
 use crate::error::StoreError;
+use crate::governor;
+use crate::interrupt;
 use crate::stats::{self, CacheStats};
 
 struct Entry {
@@ -24,6 +26,13 @@ struct Entry {
 /// cache simply holds that one chunk). A loader error is propagated
 /// to the caller and leaves the cache contents untouched, so a failed
 /// load can never poison previously cached chunks.
+///
+/// Residency is also charged against the process-wide
+/// [`governor`] ledger: when a charge would exceed
+/// the process budget the cache sheds its own LRU entries first and
+/// only then fails the load with [`StoreError::Budget`]. Misses (and
+/// only misses) poll [`interrupt::check`] so
+/// a statement blocked on I/O honors its deadline and cancellation.
 ///
 /// All counter increments are mirrored into the thread-local aggregate
 /// readable via [`stats::global`].
@@ -85,6 +94,9 @@ impl ChunkCache {
             self.bump(CacheStats { hits: 1, ..Default::default() });
             return Ok(buf);
         }
+        // Miss path only: a statement blocked on I/O must notice its
+        // deadline/cancellation, but a hit costs nothing extra.
+        interrupt::check()?;
         let buf = match load() {
             Ok(buf) => Rc::new(buf),
             Err(e) => {
@@ -94,11 +106,39 @@ impl ChunkCache {
         };
         let loaded = buf.byte_len();
         self.bump(CacheStats { misses: 1, bytes_read: loaded, ..Default::default() });
+        // Process-wide admission: shed own residency before denying
+        // (DESIGN.md §12 degradation order). A denial fails this one
+        // load; everything already cached stays valid.
+        if !self.shed_until_charged(loaded) {
+            return Err(governor::deny(loaded));
+        }
         self.bytes += loaded;
         self.map.insert(id, Entry { buf: Rc::clone(&buf), tick });
         self.order.insert(tick, id);
         self.evict_over_budget(id);
         Ok(buf)
+    }
+
+    /// Charge `needed` bytes against the process governor, evicting
+    /// LRU entries (and releasing their governed bytes) until the
+    /// charge fits or the cache is empty. Returns whether the charge
+    /// succeeded. The unlimited default budget makes the first
+    /// `try_charge` succeed immediately.
+    fn shed_until_charged(&mut self, needed: u64) -> bool {
+        loop {
+            if governor::try_charge(needed) {
+                return true;
+            }
+            let victim = self.order.iter().map(|(&t, &c)| (t, c)).next();
+            let Some((t, c)) = victim else { return false };
+            self.order.remove(&t);
+            let entry = self.map.remove(&c).expect("order and map agree");
+            let freed = entry.buf.byte_len();
+            self.bytes -= freed;
+            governor::release(freed);
+            governor::note_shed();
+            self.bump(CacheStats { evictions: 1, ..Default::default() });
+        }
     }
 
     /// Evict LRU-first until within budget, sparing `keep`.
@@ -112,7 +152,9 @@ impl ChunkCache {
             let Some((t, c)) = victim else { break };
             self.order.remove(&t);
             let entry = self.map.remove(&c).expect("order and map agree");
-            self.bytes -= entry.buf.byte_len();
+            let freed = entry.buf.byte_len();
+            self.bytes -= freed;
+            governor::release(freed);
             self.bump(CacheStats { evictions: 1, ..Default::default() });
         }
     }
@@ -124,6 +166,14 @@ impl ChunkCache {
         self.stats.bytes_read += delta.bytes_read;
         self.stats.load_errors += delta.load_errors;
         stats::global_add(delta);
+    }
+}
+
+impl Drop for ChunkCache {
+    /// Give the governed bytes of everything still resident back to
+    /// the process ledger.
+    fn drop(&mut self) {
+        governor::release(self.bytes);
     }
 }
 

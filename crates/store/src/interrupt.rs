@@ -1,0 +1,174 @@
+//! Cooperative interrupts on the chunk-load path.
+//!
+//! The evaluator's `Limits` carry a wall-clock deadline and a
+//! cancellation flag, but historically only the step-count path
+//! observed them — a statement blocked inside a chunk load (slow
+//! source, retry backoff, injected latency) could outlive its own
+//! deadline. This module closes that gap without coupling the store
+//! to the evaluator: the evaluator *installs* its deadline and
+//! cancellation flag into a thread-local stack for the duration of one
+//! evaluation, and the storage layer polls [`check`] before each chunk
+//! load and during every wait ([`sleep`] slices long waits so an
+//! expired deadline is noticed within ~1ms).
+//!
+//! When nothing is installed, [`check`] is a single thread-local read
+//! — the path costs nothing outside an evaluation.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Interrupt, StoreError};
+
+/// One installed interrupt source: a deadline, a cancellation flag, or
+/// both.
+#[derive(Clone)]
+struct Hook {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+thread_local! {
+    static HOOKS: RefCell<Vec<Hook>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls its hook on drop. Returned by [`install`]; hold it for
+/// the duration of the evaluation whose limits it carries.
+pub struct InterruptGuard {
+    // Not Send: the hook stack is thread-local.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for InterruptGuard {
+    fn drop(&mut self) {
+        HOOKS.with(|h| {
+            h.borrow_mut().pop();
+        });
+    }
+}
+
+/// Install a deadline and/or cancellation flag for the current thread.
+/// Nested installs stack; [`check`] honors every level. The hook is
+/// removed when the returned guard drops.
+pub fn install(
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> InterruptGuard {
+    HOOKS.with(|h| h.borrow_mut().push(Hook { deadline, cancel }));
+    InterruptGuard { _not_send: std::marker::PhantomData }
+}
+
+/// Poll the installed interrupt sources. `Err(Interrupted)` as soon as
+/// any deadline has passed or any cancellation flag is set; `Ok(())`
+/// when nothing is installed or nothing fired. Cancellation is checked
+/// before deadlines (an explicit cancel is the stronger signal).
+pub fn check() -> Result<(), StoreError> {
+    HOOKS.with(|h| {
+        let hooks = h.borrow();
+        if hooks.is_empty() {
+            return Ok(());
+        }
+        for hook in hooks.iter() {
+            if let Some(flag) = &hook.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Err(StoreError::Interrupted(Interrupt::Cancelled));
+                }
+            }
+        }
+        let now = Instant::now();
+        for hook in hooks.iter() {
+            if let Some(d) = hook.deadline {
+                if now >= d {
+                    return Err(StoreError::Interrupted(Interrupt::Deadline));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Granularity of [`sleep`] slices: an interrupt is noticed within
+/// this long even mid-wait.
+const SLICE: Duration = Duration::from_millis(1);
+
+/// Sleep for `dur`, polling [`check`] every millisecond so a retry
+/// backoff or injected latency cannot blow through a deadline. Returns
+/// early with the interrupt if one fires.
+pub fn sleep(dur: Duration) -> Result<(), StoreError> {
+    let until = Instant::now() + dur;
+    loop {
+        check()?;
+        let now = Instant::now();
+        if now >= until {
+            return Ok(());
+        }
+        std::thread::sleep(SLICE.min(until - now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hooks_is_ok() {
+        assert!(check().is_ok());
+        assert!(sleep(Duration::from_millis(1)).is_ok());
+    }
+
+    #[test]
+    fn deadline_fires_and_uninstalls() {
+        {
+            let _g = install(Some(Instant::now() - Duration::from_millis(1)), None);
+            assert_eq!(
+                check(),
+                Err(StoreError::Interrupted(Interrupt::Deadline))
+            );
+        }
+        assert!(check().is_ok(), "guard drop uninstalls the hook");
+    }
+
+    #[test]
+    fn cancellation_beats_deadline() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let _g = install(
+            Some(Instant::now() - Duration::from_millis(1)),
+            Some(flag.clone()),
+        );
+        assert_eq!(
+            check(),
+            Err(StoreError::Interrupted(Interrupt::Cancelled))
+        );
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(
+            check(),
+            Err(StoreError::Interrupted(Interrupt::Deadline))
+        );
+    }
+
+    #[test]
+    fn sleep_interrupted_mid_wait() {
+        let _g = install(Some(Instant::now() + Duration::from_millis(5)), None);
+        let t0 = Instant::now();
+        let out = sleep(Duration::from_millis(500));
+        assert_eq!(out, Err(StoreError::Interrupted(Interrupt::Deadline)));
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "sleep returned early on deadline"
+        );
+    }
+
+    #[test]
+    fn nested_hooks_all_checked() {
+        let outer = Arc::new(AtomicBool::new(false));
+        let _g1 = install(None, Some(outer.clone()));
+        let _g2 = install(None, None);
+        assert!(check().is_ok());
+        outer.store(true, Ordering::Relaxed);
+        assert_eq!(
+            check(),
+            Err(StoreError::Interrupted(Interrupt::Cancelled))
+        );
+    }
+}

@@ -21,21 +21,47 @@
 //! ([`stats::global`]) so an evaluator can report the I/O cost of a
 //! query as a before/after delta without threading a handle through
 //! every array.
+//!
+//! ## Resilience (DESIGN.md §12)
+//!
+//! Chunk I/O is where a production engine meets flaky hardware, so the
+//! crate also carries the resilience stack:
+//!
+//! * [`error::FaultClass`] — the retryable/fatal failure taxonomy
+//!   every [`StoreError`] classifies into;
+//! * [`ResilientSource`] — retry with jittered backoff, a per-source
+//!   circuit breaker ([`CircuitBreaker`]), and checksum verification
+//!   wrapped around any [`ChunkSource`];
+//! * [`governor`] — a process-wide byte budget that cache residency
+//!   charges against, with shed-before-deny degradation;
+//! * [`interrupt`] — cooperative deadline/cancellation hooks polled on
+//!   the chunk-load path, so a hung source cannot outlive a
+//!   statement's limits;
+//! * [`FaultyChunkSource`] — deterministic seeded fault injection at
+//!   chunk granularity, feeding the chaos harness.
 
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod cache;
 pub mod error;
+pub mod fault;
+pub mod governor;
+pub mod interrupt;
 pub mod layout;
 pub mod lazy;
+pub mod resilient;
 pub mod source;
 pub mod stats;
 
 pub use buffer::{Scalar, ScalarBuf, ScalarKind};
 pub use cache::ChunkCache;
-pub use error::StoreError;
+pub use error::{FaultClass, Interrupt, StoreError};
+pub use fault::{ChunkFaultPlan, FaultyChunkSource};
 pub use layout::{ChunkAddr, ChunkLayout};
 pub use lazy::LazyArray;
+pub use resilient::{
+    BreakerPolicy, BreakerState, CircuitBreaker, ResiliencePolicy, ResilientSource, RetryPolicy,
+};
 pub use source::ChunkSource;
 pub use stats::CacheStats;

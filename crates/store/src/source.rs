@@ -15,10 +15,24 @@ use crate::error::StoreError;
 pub trait ChunkSource {
     /// Read the hyperslab `(start, count)` of the backing variable.
     fn read_chunk(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError>;
+
+    /// The expected checksum (see [`crate::fault::checksum`]) of the
+    /// hyperslab `(start, count)`, when this source can produce one
+    /// independently of the payload it just served. `None` (the
+    /// default) means "cannot verify"; a verifying wrapper
+    /// ([`crate::ResilientSource`]) then serves the payload unchecked.
+    fn chunk_checksum(&mut self, start: &[u64], count: &[u64]) -> Option<u64> {
+        let _ = (start, count);
+        None
+    }
 }
 
 impl<T: ChunkSource + ?Sized> ChunkSource for Box<T> {
     fn read_chunk(&mut self, start: &[u64], count: &[u64]) -> Result<ScalarBuf, StoreError> {
         (**self).read_chunk(start, count)
+    }
+
+    fn chunk_checksum(&mut self, start: &[u64], count: &[u64]) -> Option<u64> {
+        (**self).chunk_checksum(start, count)
     }
 }

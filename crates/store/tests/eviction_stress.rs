@@ -1,0 +1,189 @@
+//! Concurrency and eviction-pressure tests for `ChunkCache` under the
+//! process-wide resource governor.
+//!
+//! These live in their own integration-test binary (own process) on
+//! purpose: the governor's byte budget is process state, and the
+//! in-crate unit tests must never observe a shrunken budget. Within
+//! this binary every test that configures the budget serializes on
+//! [`GOV`] and restores the unlimited default before releasing it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use aql_store::{governor, ChunkCache, ScalarBuf, StoreError};
+
+/// Serializes governor-configuring tests; recovers from a poisoned
+/// lock so one failed test does not cascade.
+static GOV: Mutex<()> = Mutex::new(());
+
+fn gov_lock() -> MutexGuard<'static, ()> {
+    GOV.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A chunk of `n` f64 elements, filled with `id` so cross-chunk mixups
+/// are detectable.
+fn chunk(n: usize, id: u64) -> ScalarBuf {
+    ScalarBuf::F64(vec![id as f64; n])
+}
+
+const CHUNK_BYTES: u64 = 8 * 8; // chunk(8, _) payload
+
+#[test]
+fn shed_before_deny_under_process_budget() {
+    let _g = gov_lock();
+    let base = governor::bytes_in_use();
+    // Process budget fits two 64-byte chunks (beyond whatever other
+    // residency is charged — there is none, single-threaded here).
+    governor::set_budget(Some(base + 2 * CHUNK_BYTES));
+    // Per-cache LRU budget is huge: only the governor constrains us.
+    let mut c = ChunkCache::new(1 << 20);
+    c.get_or_load(0, || Ok(chunk(8, 0))).unwrap();
+    c.get_or_load(1, || Ok(chunk(8, 1))).unwrap();
+    assert_eq!(c.chunks_held(), 2);
+    // Loading a third chunk must shed the LRU entry (chunk 0), not
+    // fail: graceful degradation.
+    let buf = c.get_or_load(2, || Ok(chunk(8, 2))).unwrap();
+    assert_eq!(*buf, chunk(8, 2));
+    assert_eq!(c.chunks_held(), 2, "one entry shed to fit the process budget");
+    assert_eq!(c.stats().evictions, 1);
+    assert!(governor::bytes_in_use() <= base + 2 * CHUNK_BYTES);
+    // Chunk 0 was the victim: reloading it misses.
+    let reloaded = std::cell::Cell::new(false);
+    c.get_or_load(0, || {
+        reloaded.set(true);
+        Ok(chunk(8, 0))
+    })
+    .unwrap();
+    assert!(reloaded.get());
+    governor::set_budget(None);
+}
+
+#[test]
+fn deny_only_when_shedding_cannot_help() {
+    let _g = gov_lock();
+    let base = governor::bytes_in_use();
+    governor::set_budget(Some(base + CHUNK_BYTES));
+    let mut c = ChunkCache::new(1 << 20);
+    c.get_or_load(0, || Ok(chunk(8, 0))).unwrap();
+    // A chunk larger than the whole budget: shedding everything still
+    // cannot fit it — the load is denied, classified Budget.
+    let err = c.get_or_load(1, || Ok(chunk(64, 1))).unwrap_err();
+    match err {
+        StoreError::Budget { requested, .. } => assert_eq!(requested, 64 * 8),
+        other => panic!("expected Budget, got {other}"),
+    }
+    assert_eq!(err.class(), aql_store::FaultClass::Fatal);
+    // The denial shed residency (degradation order) but did not poison
+    // the cache: a fitting load works right after.
+    let buf = c.get_or_load(0, || Ok(chunk(8, 0))).unwrap();
+    assert_eq!(*buf, chunk(8, 0));
+    governor::set_budget(None);
+}
+
+#[test]
+fn failed_load_leaves_no_poisoned_entries_under_pressure() {
+    let _g = gov_lock();
+    let base = governor::bytes_in_use();
+    governor::set_budget(Some(base + 2 * CHUNK_BYTES));
+    let mut c = ChunkCache::new(1 << 20);
+    c.get_or_load(0, || Ok(chunk(8, 0))).unwrap();
+    c.get_or_load(1, || Ok(chunk(8, 1))).unwrap();
+    // A loader failure mid-pressure: propagates, cached entries stay.
+    let err = c
+        .get_or_load(2, || Err(StoreError::io("mid-statement failure")))
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }));
+    assert_eq!(c.chunks_held(), 2, "failure evicted nothing");
+    assert_eq!(*c.get_or_load(0, || panic!("0 still cached")).unwrap(), chunk(8, 0));
+    assert_eq!(*c.get_or_load(1, || panic!("1 still cached")).unwrap(), chunk(8, 1));
+    // And the failed id is not poisoned either: a later good load
+    // caches normally (shedding an LRU victim to fit).
+    assert_eq!(*c.get_or_load(2, || Ok(chunk(8, 2))).unwrap(), chunk(8, 2));
+    governor::set_budget(None);
+}
+
+#[test]
+fn drop_and_eviction_release_governed_bytes() {
+    let _g = gov_lock();
+    let base = governor::bytes_in_use();
+    {
+        let mut c = ChunkCache::new(1 << 20);
+        for id in 0..4 {
+            c.get_or_load(id, || Ok(chunk(8, id))).unwrap();
+        }
+        assert_eq!(governor::bytes_in_use(), base + 4 * CHUNK_BYTES);
+        // LRU eviction under the cache's own budget releases too.
+        let mut small = ChunkCache::new(2 * CHUNK_BYTES);
+        for id in 0..4 {
+            small.get_or_load(id, || Ok(chunk(8, id))).unwrap();
+        }
+        assert_eq!(small.stats().evictions, 2);
+        assert_eq!(governor::bytes_in_use(), base + 6 * CHUNK_BYTES);
+        drop(small);
+        assert_eq!(governor::bytes_in_use(), base + 4 * CHUNK_BYTES);
+    }
+    assert_eq!(governor::bytes_in_use(), base, "drop returned everything");
+}
+
+#[test]
+fn concurrent_caches_never_exceed_shared_budget() {
+    let _g = gov_lock();
+    let base = governor::bytes_in_use();
+    let budget = base + 6 * CHUNK_BYTES;
+    governor::set_budget(Some(budget));
+
+    const THREADS: u64 = 4;
+    const LOADS: u64 = 300;
+    let denials = Arc::new(AtomicU64::new(0));
+    let peak = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let denials = Arc::clone(&denials);
+            let peak = Arc::clone(&peak);
+            std::thread::spawn(move || {
+                // Tiny per-cache LRU budget: constant local eviction
+                // pressure on top of the shared governor pressure.
+                let mut c = ChunkCache::new(2 * CHUNK_BYTES);
+                for i in 0..LOADS {
+                    let id = (t * LOADS + i) % 7; // overlapping id space
+                    let want = chunk(8, id);
+                    match c.get_or_load(id, || Ok(chunk(8, id))) {
+                        Ok(buf) => assert_eq!(*buf, want, "no cross-chunk mixups"),
+                        Err(StoreError::Budget { .. }) => {
+                            // Legal under contention: this thread shed
+                            // everything and others held the rest.
+                            denials.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected error class: {other}"),
+                    }
+                    peak.fetch_max(governor::bytes_in_use(), Ordering::Relaxed);
+                }
+                // The cache drops here, releasing its residency.
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics under eviction pressure");
+    }
+    assert!(
+        peak.load(Ordering::Relaxed) <= budget,
+        "governed bytes exceeded the process budget: {} > {budget}",
+        peak.load(Ordering::Relaxed)
+    );
+    assert_eq!(governor::bytes_in_use(), base, "all residency released");
+    governor::set_budget(None);
+}
+
+#[test]
+fn unlimited_budget_is_invisible() {
+    let _g = gov_lock();
+    governor::set_budget(None);
+    let mut c = ChunkCache::new(3 * CHUNK_BYTES);
+    for id in 0..64 {
+        let buf = c.get_or_load(id, || Ok(chunk(8, id))).unwrap();
+        assert_eq!(*buf, chunk(8, id));
+    }
+    // Only the cache's own LRU budget evicts.
+    assert_eq!(c.chunks_held(), 3);
+    assert_eq!(c.stats().evictions, 61);
+}

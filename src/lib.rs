@@ -20,5 +20,6 @@ pub use aql_lang as lang;
 pub use aql_metrics as metrics;
 pub use aql_netcdf as netcdf;
 pub use aql_opt as opt;
+pub use aql_store as store;
 pub use aql_trace as trace;
 pub use aql_verify as verify;

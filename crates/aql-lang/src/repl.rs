@@ -24,6 +24,8 @@ meta-commands:
   \\profile <statements>    run with tracing on and print the phase tree
   \\metrics;                print the process-lifetime metrics registry
   \\metrics serve [addr];   serve Prometheus exposition (default 127.0.0.1:0)
+  \\store;                  list open chunk sources, cache residency, governor
+  \\save <val> \"<path>\";    save a bound array to an AQF file (writeval using AQF)
   \\help;                   this listing
   quit / exit              leave the session
 ";
@@ -134,6 +136,37 @@ pub fn run_repl(
             pending.clear();
             continue;
         }
+        // `\store;` reports per-binding chunk-store residency and the
+        // process governor's budget/usage/peak.
+        if trimmed_stmt == "\\store;" {
+            write!(output, "{}", session.store_report())?;
+            pending.clear();
+            continue;
+        }
+        // `\save <val> "<path>";` persists a bound array to an AQF
+        // file by delegating to whatever `AQF` writer is registered
+        // (aql-format's `register_aqf` installs one).
+        if let Some(rest) = trimmed_stmt.strip_prefix("\\save ") {
+            let rest = rest.trim_end().trim_end_matches(';').trim();
+            match parse_save_args(rest) {
+                Some((name, path)) => {
+                    match session.run(&format!("writeval {name} using AQF at \"{path}\";")) {
+                        Ok(outcomes) => {
+                            for o in outcomes {
+                                writeln!(output, "{}", o.text)?;
+                                executed += 1;
+                            }
+                        }
+                        Err(e) => writeln!(output, "error: {e}")?,
+                    }
+                }
+                None => {
+                    writeln!(output, "error: usage: \\save <val> \"<path>\";")?;
+                }
+            }
+            pending.clear();
+            continue;
+        }
         // `\metrics;` dumps the registry: one `series value` per line.
         if trimmed_stmt == "\\metrics;" {
             for (k, v) in aql_metrics::snapshot() {
@@ -154,6 +187,25 @@ pub fn run_repl(
         pending.clear();
     }
     Ok(executed)
+}
+
+/// Split `\save` arguments: a val name followed by a double-quoted
+/// path. Returns `None` when the shape doesn't match (the path must
+/// be quoted and free of embedded quotes — it is spliced back into a
+/// `writeval` statement verbatim).
+fn parse_save_args(rest: &str) -> Option<(&str, &str)> {
+    let (name, path) = rest.split_once(char::is_whitespace)?;
+    let path = path.trim();
+    let path = path.strip_prefix('"')?.strip_suffix('"')?;
+    if name.is_empty()
+        || path.is_empty()
+        || path.contains('"')
+        || path.contains('\\')
+        || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    Some((name, path))
 }
 
 /// Heuristic statement-completeness check: the buffer ends with `;`
@@ -370,9 +422,10 @@ mod tests {
     #[test]
     fn backslash_help_lists_every_meta_command() {
         let text = redacted_transcript("\\help;\n1 + 1;\n");
-        for cmd in
-            ["vals;", "macros;", "\\explain", "\\lint", "\\profile", "\\metrics", "\\help", "quit"]
-        {
+        for cmd in [
+            "vals;", "macros;", "\\explain", "\\lint", "\\profile", "\\metrics", "\\store",
+            "\\save", "\\help", "quit",
+        ] {
             assert!(text.contains(cmd), "`{cmd}` missing from \\help: {text}");
         }
         assert!(text.contains("val it = 2"), "the REPL keeps running: {text}");
@@ -416,6 +469,40 @@ mod tests {
         conn.read_to_string(&mut body).unwrap();
         assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
         assert!(body.contains("# TYPE aql_session_statements_total counter"), "{body}");
+    }
+
+    #[test]
+    fn backslash_store_reports_without_open_sources() {
+        let text = redacted_transcript("val \\x = 3;\n\\store;\n");
+        assert!(text.contains("store: no open chunk sources"), "{text}");
+        assert!(text.contains("governor: budget="), "{text}");
+    }
+
+    #[test]
+    fn backslash_save_rejects_malformed_and_unregistered() {
+        // Malformed: no quoted path.
+        let text = redacted_transcript("\\save x out.aqf;\n1 + 1;\n");
+        assert!(text.contains("error: usage: \\save <val> \"<path>\";"), "{text}");
+        assert!(text.contains("val it = 2"), "the REPL keeps running: {text}");
+        // Well-formed, but no `AQF` writer registered in a bare
+        // session: the delegated `writeval` reports the error.
+        let text = redacted_transcript("val \\x = 3;\n\\save x \"/tmp/x.aqf\";\n");
+        assert!(text.contains("error:"), "{text}");
+        assert_eq!(
+            text,
+            redacted_transcript("val \\x = 3;\n\\save x \"/tmp/x.aqf\";\n"),
+            "the \\save error path is deterministic"
+        );
+    }
+
+    #[test]
+    fn save_argument_splitter() {
+        assert_eq!(parse_save_args("x \"out.aqf\""), Some(("x", "out.aqf")));
+        assert_eq!(parse_save_args("grid  \"/tmp/a b.aqf\""), Some(("grid", "/tmp/a b.aqf")));
+        assert_eq!(parse_save_args("x out.aqf"), None, "path must be quoted");
+        assert_eq!(parse_save_args("x"), None);
+        assert_eq!(parse_save_args("x \"\""), None, "empty path");
+        assert_eq!(parse_save_args("x; drop \"p\""), None, "name must be an identifier");
     }
 
     #[test]

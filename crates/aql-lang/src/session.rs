@@ -595,6 +595,63 @@ impl Session {
         v
     }
 
+    /// A storage-residency report: one line per lazy-array `val`
+    /// binding (source label, resident chunks/bytes against the cache
+    /// budget, hit/miss/read/error counters, and prefetch
+    /// effectiveness when a read-ahead worker is attached), followed
+    /// by the process chunk governor's budget, usage and high-water
+    /// mark. Rendered by the REPL's `\store;` meta-command.
+    pub fn store_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut names: Vec<&Name> = self.vals.keys().collect();
+        names.sort();
+        let mut open = 0usize;
+        for n in names {
+            let Some(Value::Array(a)) = self.vals.get(n) else { continue };
+            let Some(info) = a.store_info() else { continue };
+            open += 1;
+            let label = info.label.as_deref().unwrap_or("-");
+            let _ = write!(
+                out,
+                "  {n}  source={label}  chunks={}  bytes={}/{}  hits={} misses={} read={} errors={}",
+                info.chunks_held,
+                info.bytes_held,
+                info.budget_bytes,
+                info.stats.hits,
+                info.stats.misses,
+                info.stats.bytes_read,
+                info.stats.load_errors,
+            );
+            if let Some(p) = info.prefetch {
+                let _ = write!(
+                    out,
+                    "  prefetch issued={} hits={} wasted={}",
+                    p.issued, p.hits, p.wasted
+                );
+            }
+            out.push('\n');
+        }
+        let header = if open == 0 {
+            "store: no open chunk sources\n".to_string()
+        } else {
+            format!("store: {open} open chunk source(s)\n")
+        };
+        let governor = match aql_store::governor::budget() {
+            Some(b) => format!(
+                "governor: budget={b} in_use={} peak={}\n",
+                aql_store::governor::bytes_in_use(),
+                aql_store::governor::peak_bytes()
+            ),
+            None => format!(
+                "governor: budget=unlimited in_use={} peak={}\n",
+                aql_store::governor::bytes_in_use(),
+                aql_store::governor::peak_bytes()
+            ),
+        };
+        format!("{header}{out}{governor}")
+    }
+
     /// The registered macros, by name.
     pub fn macro_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.macros.keys().map(|k| k.to_string()).collect();

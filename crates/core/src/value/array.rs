@@ -27,7 +27,7 @@ use std::borrow::Cow;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use aql_store::{CacheStats, LazyArray, Scalar};
+use aql_store::{CacheStats, LazyArray, PrefetchStats, Scalar};
 
 use crate::error::EvalError;
 
@@ -58,13 +58,41 @@ pub struct ArrayVal {
     data: ArrayData,
 }
 
-/// Convert a storage scalar to a value. Integer external data widens
-/// to `real`, mirroring the NetCDF driver's policy of widening every
-/// numeric external type.
+/// A lazy array's storage residency, as reported by
+/// [`ArrayVal::store_info`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Source label I/O is attributed to (`netcdf:<var>`,
+    /// `aqf:<file>`, `mem`), when the binding set one.
+    pub label: Option<String>,
+    /// Payload bytes resident in this array's chunk cache.
+    pub bytes_held: u64,
+    /// The cache's byte budget.
+    pub budget_bytes: u64,
+    /// Chunks resident in the cache.
+    pub chunks_held: usize,
+    /// The cache's lifetime counters.
+    pub stats: CacheStats,
+    /// Read-ahead effectiveness, when a prefetcher is attached.
+    pub prefetch: Option<PrefetchStats>,
+}
+
+/// Convert a storage scalar to a value. Non-negative integers come
+/// back as `nat` — so a `nat` array saved to AQF (which stores I64
+/// chunks) reopens with its original type — while negative integers,
+/// which have no value-model counterpart, widen to `real`. (NetCDF
+/// never produces `I64` scalars: its driver widens every numeric
+/// external type to `F64` at the source.)
 fn scalar_to_value(s: Scalar) -> Value {
     match s {
         Scalar::F64(x) => Value::Real(x),
-        Scalar::I64(x) => Value::Real(x as f64),
+        Scalar::I64(x) => {
+            if x >= 0 {
+                Value::Nat(x as u64)
+            } else {
+                Value::Real(x as f64)
+            }
+        }
         Scalar::Bool(b) => Value::Bool(b),
     }
 }
@@ -198,6 +226,25 @@ impl ArrayVal {
     pub fn cache_stats(&self) -> Option<CacheStats> {
         match &self.data {
             ArrayData::Lazy(l) => Some(l.borrow().stats()),
+            _ => None,
+        }
+    }
+
+    /// Storage residency snapshot of the backing chunk cache, for
+    /// lazy arrays — what the REPL's `\store;` report renders.
+    pub fn store_info(&self) -> Option<StoreInfo> {
+        match &self.data {
+            ArrayData::Lazy(l) => {
+                let l = l.borrow();
+                Some(StoreInfo {
+                    label: l.label().map(str::to_string),
+                    bytes_held: l.cache_bytes_held(),
+                    budget_bytes: l.cache_budget_bytes(),
+                    chunks_held: l.chunks_held(),
+                    stats: l.stats(),
+                    prefetch: l.prefetch_stats(),
+                })
+            }
             _ => None,
         }
     }

@@ -18,7 +18,7 @@ pub mod tyof;
 
 use std::rc::Rc;
 
-pub use array::ArrayVal;
+pub use array::{ArrayVal, StoreInfo};
 pub use bag::CoBag;
 pub use set::CoSet;
 

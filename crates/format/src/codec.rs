@@ -1,0 +1,404 @@
+//! Per-chunk codecs.
+//!
+//! Every AQF chunk is encoded independently with one of three codecs,
+//! recorded per chunk in the file's table:
+//!
+//! * [`Codec::Raw`] — fixed-width little-endian elements (8 bytes for
+//!   `F64`/`I64`, 1 byte for `Bool`). Always available; the fallback
+//!   whenever a "smarter" encoding would not actually shrink the
+//!   chunk.
+//! * [`Codec::BitPack`] — for `I64`: a frame minimum plus bit-packed
+//!   non-negative deltas; for `Bool`: one bit per element. The natural
+//!   fit for index-like and mask data.
+//! * [`Codec::FrameOfRef`] — for `F64` whose values are a frame
+//!   minimum plus *exactly representable integral* deltas (gridded
+//!   counts, quantized sensor data). The encoder proves losslessness
+//!   per element before committing — any value that would not decode
+//!   bit-identically forces the chunk back to `Raw`.
+//!
+//! Decoding is fully validated: payload sizes must match exactly, bit
+//! widths must be in range, and `Bool` bytes must be 0/1 — a corrupted
+//! or truncated payload yields [`StoreError::Corrupt`], never a panic
+//! or a silently wrong buffer.
+
+use aql_store::{ScalarBuf, ScalarKind, StoreError};
+
+/// Chunk encoding, stored as one byte in the chunk table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Fixed-width little-endian elements.
+    Raw,
+    /// Frame-of-reference bit packing for integers; packed bits for
+    /// booleans.
+    BitPack,
+    /// Frame-of-reference bit packing for reals with integral deltas.
+    FrameOfRef,
+}
+
+impl Codec {
+    /// The table byte for this codec.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Codec::Raw => 0,
+            Codec::BitPack => 1,
+            Codec::FrameOfRef => 2,
+        }
+    }
+
+    /// Decode a table byte; `None` for unknown codecs (newer writer).
+    pub fn from_u8(b: u8) -> Option<Codec> {
+        match b {
+            0 => Some(Codec::Raw),
+            1 => Some(Codec::BitPack),
+            2 => Some(Codec::FrameOfRef),
+            _ => None,
+        }
+    }
+}
+
+/// Bits needed to represent `v`.
+fn width_of(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Pack each value's low `width` bits, LSB-first, into a byte stream.
+fn pack_bits(vals: &[u64], width: u32) -> Vec<u8> {
+    let total_bits = vals.len() as u64 * width as u64;
+    let mut out = vec![0u8; total_bits.div_ceil(8) as usize];
+    let mut bitpos = 0u64;
+    for &v in vals {
+        for b in 0..width {
+            if (v >> b) & 1 == 1 {
+                out[(bitpos >> 3) as usize] |= 1 << (bitpos & 7);
+            }
+            bitpos += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_bits`]; `None` when `bytes` is not exactly the
+/// packed size for `n` values of `width` bits.
+fn unpack_bits(bytes: &[u8], width: u32, n: usize) -> Option<Vec<u64>> {
+    let total_bits = n as u64 * width as u64;
+    if bytes.len() as u64 != total_bits.div_ceil(8) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut bitpos = 0u64;
+    for _ in 0..n {
+        let mut v = 0u64;
+        for b in 0..width {
+            if (bytes[(bitpos >> 3) as usize] >> (bitpos & 7)) & 1 == 1 {
+                v |= 1 << b;
+            }
+            bitpos += 1;
+        }
+        out.push(v);
+    }
+    Some(out)
+}
+
+/// Raw little-endian encoding — always succeeds.
+fn encode_raw(buf: &ScalarBuf) -> Vec<u8> {
+    match buf {
+        ScalarBuf::F64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            out
+        }
+        ScalarBuf::I64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        ScalarBuf::Bool(v) => v.iter().map(|&b| u8::from(b)).collect(),
+    }
+}
+
+/// Bit-pack an `I64` chunk as `min (8B) + width (1B) + packed deltas`,
+/// or `None` when that would not be smaller than raw.
+fn try_bitpack_i64(v: &[i64]) -> Option<Vec<u8>> {
+    let min = *v.iter().min()?;
+    // Deltas fit u64 by construction: v - min over i64 spans ≤ u64.
+    let deltas: Vec<u64> = v.iter().map(|&x| (x as i128 - min as i128) as u64).collect();
+    let width = width_of(deltas.iter().copied().max().unwrap_or(0));
+    let packed_len = 9 + (v.len() as u64 * width as u64).div_ceil(8);
+    if packed_len >= v.len() as u64 * 8 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(packed_len as usize);
+    out.extend_from_slice(&min.to_le_bytes());
+    out.push(width as u8);
+    out.extend_from_slice(&pack_bits(&deltas, width));
+    Some(out)
+}
+
+/// Frame-of-reference encoding for `F64`: `min (8B) + width (1B) +
+/// packed integral deltas`. `None` unless every value decodes back
+/// bit-identically *and* the result is smaller than raw.
+fn try_frame_of_ref_f64(v: &[f64]) -> Option<Vec<u8>> {
+    let min = v.iter().copied().reduce(f64::min)?;
+    if !min.is_finite() {
+        return None;
+    }
+    let mut deltas = Vec::with_capacity(v.len());
+    for &x in v {
+        let d = x - min;
+        // Exactness proof per element: the delta must be a
+        // non-negative integer small enough to round-trip through
+        // u64 → f64 → the original bits.
+        if !(d >= 0.0 && d.fract() == 0.0 && d <= (1u64 << 53) as f64) {
+            return None;
+        }
+        let du = d as u64;
+        if (min + du as f64).to_bits() != x.to_bits() {
+            return None;
+        }
+        deltas.push(du);
+    }
+    let width = width_of(deltas.iter().copied().max().unwrap_or(0));
+    let packed_len = 9 + (v.len() as u64 * width as u64).div_ceil(8);
+    if packed_len >= v.len() as u64 * 8 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(packed_len as usize);
+    out.extend_from_slice(&min.to_bits().to_le_bytes());
+    out.push(width as u8);
+    out.extend_from_slice(&pack_bits(&deltas, width));
+    Some(out)
+}
+
+/// Encode one chunk. With `compress` the kind-appropriate packing
+/// codec is tried first and kept only when it is strictly smaller
+/// than raw; without it every chunk is raw.
+pub fn encode(buf: &ScalarBuf, compress: bool) -> (Codec, Vec<u8>) {
+    if compress {
+        match buf {
+            ScalarBuf::I64(v) => {
+                if let Some(bytes) = try_bitpack_i64(v) {
+                    return (Codec::BitPack, bytes);
+                }
+            }
+            ScalarBuf::F64(v) => {
+                if let Some(bytes) = try_frame_of_ref_f64(v) {
+                    return (Codec::FrameOfRef, bytes);
+                }
+            }
+            ScalarBuf::Bool(v) => {
+                // One bit per element beats one byte whenever the
+                // chunk has ≥ 2 elements.
+                if v.len() >= 2 {
+                    let deltas: Vec<u64> = v.iter().map(|&b| u64::from(b)).collect();
+                    return (Codec::BitPack, pack_bits(&deltas, 1));
+                }
+            }
+        }
+    }
+    (Codec::Raw, encode_raw(buf))
+}
+
+fn corrupt(msg: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(msg.into())
+}
+
+/// Decode one chunk payload back into `elems` scalars of `kind`.
+pub fn decode(
+    codec: Codec,
+    kind: ScalarKind,
+    elems: usize,
+    bytes: &[u8],
+) -> Result<ScalarBuf, StoreError> {
+    match (codec, kind) {
+        (Codec::Raw, ScalarKind::F64) | (Codec::Raw, ScalarKind::I64) => {
+            if bytes.len() != elems * 8 {
+                return Err(corrupt(format!(
+                    "raw payload is {} bytes, {elems} elements need {}",
+                    bytes.len(),
+                    elems * 8
+                )));
+            }
+            let words = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")));
+            Ok(match kind {
+                ScalarKind::F64 => ScalarBuf::F64(words.map(f64::from_bits).collect()),
+                _ => ScalarBuf::I64(words.map(|w| w as i64).collect()),
+            })
+        }
+        (Codec::Raw, ScalarKind::Bool) => {
+            if bytes.len() != elems {
+                return Err(corrupt(format!(
+                    "raw bool payload is {} bytes for {elems} elements",
+                    bytes.len()
+                )));
+            }
+            let mut out = Vec::with_capacity(elems);
+            for (i, &b) in bytes.iter().enumerate() {
+                match b {
+                    0 => out.push(false),
+                    1 => out.push(true),
+                    other => {
+                        return Err(corrupt(format!("bool byte {i} holds {other}, not 0/1")))
+                    }
+                }
+            }
+            Ok(ScalarBuf::Bool(out))
+        }
+        (Codec::BitPack, ScalarKind::Bool) => {
+            let vals = unpack_bits(bytes, 1, elems)
+                .ok_or_else(|| corrupt("bit-packed bool payload has the wrong size"))?;
+            Ok(ScalarBuf::Bool(vals.into_iter().map(|v| v == 1).collect()))
+        }
+        (Codec::BitPack, ScalarKind::I64) => {
+            let (min, width, packed) = split_frame(bytes, "bit-packed")?;
+            let min = i64::from_le_bytes(min);
+            let deltas = unpack_bits(packed, width, elems)
+                .ok_or_else(|| corrupt("bit-packed payload has the wrong size"))?;
+            let mut out = Vec::with_capacity(elems);
+            for d in deltas {
+                let v = (min as i128) + d as i128;
+                let v = i64::try_from(v)
+                    .map_err(|_| corrupt("bit-packed delta overflows i64"))?;
+                out.push(v);
+            }
+            Ok(ScalarBuf::I64(out))
+        }
+        (Codec::FrameOfRef, ScalarKind::F64) => {
+            let (min, width, packed) = split_frame(bytes, "frame-of-reference")?;
+            let min = f64::from_bits(u64::from_le_bytes(min));
+            let deltas = unpack_bits(packed, width, elems)
+                .ok_or_else(|| corrupt("frame-of-reference payload has the wrong size"))?;
+            Ok(ScalarBuf::F64(deltas.into_iter().map(|d| min + d as f64).collect()))
+        }
+        (c, k) => Err(corrupt(format!("codec {c:?} does not apply to {k} chunks"))),
+    }
+}
+
+/// Split a `min (8B) + width (1B) + packed` frame payload.
+fn split_frame<'a>(bytes: &'a [u8], what: &str) -> Result<([u8; 8], u32, &'a [u8]), StoreError> {
+    if bytes.len() < 9 {
+        return Err(corrupt(format!("{what} payload too short for its frame header")));
+    }
+    let min: [u8; 8] = bytes[..8].try_into().expect("sliced 8");
+    let width = bytes[8] as u32;
+    if width > 64 {
+        return Err(corrupt(format!("{what} bit width {width} exceeds 64")));
+    }
+    Ok((min, width, &bytes[9..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(buf: ScalarBuf, compress: bool) -> Codec {
+        let (codec, bytes) = encode(&buf, compress);
+        let back = decode(codec, buf.kind(), buf.len(), &bytes).unwrap();
+        assert_eq!(back, buf);
+        codec
+    }
+
+    #[test]
+    fn raw_roundtrips_every_kind() {
+        assert_eq!(
+            roundtrip(ScalarBuf::F64(vec![1.5, -0.0, 3e300]), false),
+            Codec::Raw
+        );
+        assert_eq!(roundtrip(ScalarBuf::I64(vec![i64::MIN, -1, 0, i64::MAX]), false), Codec::Raw);
+        assert_eq!(roundtrip(ScalarBuf::Bool(vec![true, false, true]), false), Codec::Raw);
+    }
+
+    #[test]
+    fn nan_roundtrips_bit_identically() {
+        let buf = ScalarBuf::F64(vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        let (codec, bytes) = encode(&buf, true);
+        assert_eq!(codec, Codec::Raw, "non-finite frames fall back to raw");
+        let back = decode(codec, ScalarKind::F64, 3, &bytes).unwrap();
+        let ScalarBuf::F64(v) = back else { panic!("kind") };
+        assert!(v[0].is_nan());
+        assert_eq!(v[1], f64::INFINITY);
+        assert_eq!(v[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn small_naturals_bitpack() {
+        let buf = ScalarBuf::I64((0..512).map(|i| 1000 + (i % 7)).collect());
+        let (codec, bytes) = encode(&buf, true);
+        assert_eq!(codec, Codec::BitPack);
+        assert!(bytes.len() < 512 * 8 / 10, "3-bit deltas shrink ≥ 10×");
+        assert_eq!(decode(codec, ScalarKind::I64, 512, &bytes).unwrap(), buf);
+    }
+
+    #[test]
+    fn negative_spans_still_bitpack() {
+        assert_eq!(
+            roundtrip(ScalarBuf::I64((-100..100).collect()), true),
+            Codec::BitPack
+        );
+        // Full-range spans cannot shrink; raw fallback.
+        assert_eq!(
+            roundtrip(ScalarBuf::I64(vec![i64::MIN, i64::MAX, 0, -5]), true),
+            Codec::Raw
+        );
+    }
+
+    #[test]
+    fn integral_reals_frame_of_reference() {
+        let buf = ScalarBuf::F64((0..256).map(|i| 273.0 + (i % 16) as f64).collect());
+        let (codec, bytes) = encode(&buf, true);
+        assert_eq!(codec, Codec::FrameOfRef);
+        assert!(bytes.len() < 256 * 8 / 4);
+        assert_eq!(decode(codec, ScalarKind::F64, 256, &bytes).unwrap(), buf);
+    }
+
+    #[test]
+    fn fractional_reals_fall_back_to_raw() {
+        assert_eq!(roundtrip(ScalarBuf::F64(vec![0.5, 1.25, 2.75, 9.1]), true), Codec::Raw);
+    }
+
+    #[test]
+    fn bools_pack_to_bits() {
+        let buf = ScalarBuf::Bool((0..100).map(|i| i % 3 == 0).collect());
+        let (codec, bytes) = encode(&buf, true);
+        assert_eq!(codec, Codec::BitPack);
+        assert_eq!(bytes.len(), 13);
+        assert_eq!(decode(codec, ScalarKind::Bool, 100, &bytes).unwrap(), buf);
+    }
+
+    #[test]
+    fn constant_chunks_pack_to_almost_nothing() {
+        let buf = ScalarBuf::F64(vec![42.0; 4096]);
+        let (codec, bytes) = encode(&buf, true);
+        assert_eq!(codec, Codec::FrameOfRef);
+        assert_eq!(bytes.len(), 9, "width 0: just the frame header");
+        assert_eq!(decode(codec, ScalarKind::F64, 4096, &bytes).unwrap(), buf);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_classified() {
+        let (codec, bytes) = encode(&ScalarBuf::I64(vec![1, 2, 3, 4]), true);
+        // Truncated payload.
+        let err = decode(codec, ScalarKind::I64, 4, &bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        // Wrong element count vs payload.
+        assert!(decode(Codec::Raw, ScalarKind::F64, 3, &[0u8; 16]).is_err());
+        // Invalid bool byte.
+        assert!(decode(Codec::Raw, ScalarKind::Bool, 1, &[7]).is_err());
+        // Nonsense width.
+        let mut bad = vec![0u8; 9];
+        bad[8] = 65;
+        assert!(decode(Codec::BitPack, ScalarKind::I64, 0, &bad).is_err());
+        // Codec/kind mismatch.
+        assert!(decode(Codec::FrameOfRef, ScalarKind::Bool, 1, &[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        assert_eq!(roundtrip(ScalarBuf::F64(vec![]), true), Codec::Raw);
+    }
+}

@@ -243,9 +243,10 @@ impl Reader for NetcdfSlabReader {
             source = Box::new(FaultyChunkSource::new(source, plan));
         }
         if let Some(policy) = self.resilience.clone() {
-            source = Box::new(ResilientSource::new(source, label, policy));
+            source = Box::new(ResilientSource::new(source, label.clone(), policy));
         }
-        let lazy = LazyArray::new(layout, ScalarKind::F64, source, self.cache_budget);
+        let lazy =
+            LazyArray::labeled(layout, ScalarKind::F64, source, self.cache_budget, label);
         let arr = ArrayVal::lazy(lazy)
             .map_err(|e| LangError::session(format!("NETCDF{k}: {e}")))?;
         Ok((Value::Array(Rc::new(arr)), Some(Type::array(Type::Real, k))))

@@ -43,6 +43,7 @@ pub struct ChunkCache {
     tick: u64,
     bytes: u64,
     stats: CacheStats,
+    label: Option<Box<str>>,
 }
 
 impl ChunkCache {
@@ -55,7 +56,24 @@ impl ChunkCache {
             tick: 0,
             bytes: 0,
             stats: CacheStats::default(),
+            label: None,
         }
+    }
+
+    /// A cache whose miss-path I/O is attributed to a *source* label
+    /// (`netcdf:<var>`, `aqf:<file>`, `mem`) in the per-source
+    /// `aql_store_cache_bytes_read_total{source=…}` /
+    /// `…_load_errors_total{source=…}` metric series, alongside the
+    /// unlabeled process totals.
+    pub fn labeled(budget_bytes: u64, label: impl Into<String>) -> ChunkCache {
+        let mut cache = ChunkCache::new(budget_bytes);
+        cache.label = Some(label.into().into_boxed_str());
+        cache
+    }
+
+    /// The source label miss-path I/O is attributed to, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
     }
 
     /// The configured byte budget.
@@ -166,6 +184,11 @@ impl ChunkCache {
         self.stats.bytes_read += delta.bytes_read;
         self.stats.load_errors += delta.load_errors;
         stats::global_add(delta);
+        if delta.bytes_read > 0 || delta.load_errors > 0 {
+            if let Some(label) = &self.label {
+                stats::note_labeled(label, delta.bytes_read, delta.load_errors);
+            }
+        }
     }
 }
 

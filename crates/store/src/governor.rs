@@ -46,12 +46,17 @@ pub struct Ledger {
     /// `u64::MAX` encodes "unlimited".
     budget: AtomicU64,
     in_use: AtomicU64,
+    peak: AtomicU64,
 }
 
 impl Ledger {
     /// An empty ledger with no budget bound.
     pub const fn unlimited() -> Ledger {
-        Ledger { budget: AtomicU64::new(u64::MAX), in_use: AtomicU64::new(0) }
+        Ledger {
+            budget: AtomicU64::new(u64::MAX),
+            in_use: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
     }
 
     /// Set the byte budget; `None` removes the bound. Bytes already
@@ -74,6 +79,18 @@ impl Ledger {
         self.in_use.load(Ordering::Relaxed)
     }
 
+    /// High-water mark of bytes charged since the ledger was created
+    /// (or since [`reset_peak`](Ledger::reset_peak)).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current residency, so a caller
+    /// can measure the peak of one bounded operation.
+    pub fn reset_peak(&self) {
+        self.peak.store(self.in_use.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Try to charge `bytes`. `false` when the charge would push the
     /// ledger over budget; the caller is expected to shed and retry
     /// (see [`crate::ChunkCache`]).
@@ -90,6 +107,7 @@ impl Ledger {
                 .compare_exchange_weak(used, next, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
+                self.peak.fetch_max(next, Ordering::Relaxed);
                 return true;
             }
         }
@@ -143,6 +161,29 @@ pub fn budget() -> Option<u64> {
 /// Governed bytes currently charged across the process.
 pub fn bytes_in_use() -> u64 {
     GLOBAL.bytes_in_use()
+}
+
+/// High-water mark of governed bytes since process start (or the last
+/// [`reset_peak`]). Reading it refreshes the
+/// `aql_store_governor_peak_bytes` gauge, so a scrape taken after a
+/// bounded operation (a streaming `writeval`, say) shows the true peak
+/// residency the operation reached — the figure the acceptance tests
+/// assert a cache-budget bound on.
+pub fn peak_bytes() -> u64 {
+    let peak = GLOBAL.peak_bytes();
+    if aql_metrics::enabled() {
+        aql_metrics::gauge(
+            "aql_store_governor_peak_bytes",
+            "High-water mark of governed chunk-memory bytes.",
+        )
+        .set(peak.min(i64::MAX as u64) as i64);
+    }
+    peak
+}
+
+/// Reset the process-wide high-water mark to the current residency.
+pub fn reset_peak() {
+    GLOBAL.reset_peak();
 }
 
 /// Charge `bytes` against the process budget (cache residency).
@@ -214,6 +255,20 @@ mod tests {
         l.release(60);
         assert!(l.try_charge(10));
         assert_eq!(l.bytes_in_use(), 50);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let l = Ledger::unlimited();
+        assert!(l.try_charge(100));
+        assert!(l.try_charge(50));
+        l.release(120);
+        assert!(l.try_charge(10));
+        assert_eq!(l.peak_bytes(), 150, "peak survives releases");
+        l.reset_peak();
+        assert_eq!(l.peak_bytes(), l.bytes_in_use());
+        assert!(l.try_charge(5));
+        assert_eq!(l.peak_bytes(), 45);
     }
 
     #[test]

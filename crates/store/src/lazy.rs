@@ -6,6 +6,7 @@ use crate::buffer::{Scalar, ScalarBuf, ScalarKind};
 use crate::cache::ChunkCache;
 use crate::error::StoreError;
 use crate::layout::{checked_product, ChunkLayout};
+use crate::prefetch::{PrefetchStats, Prefetcher};
 use crate::source::ChunkSource;
 use crate::stats::CacheStats;
 
@@ -23,6 +24,7 @@ pub struct LazyArray {
     kind: ScalarKind,
     cache: ChunkCache,
     source: Box<dyn ChunkSource>,
+    prefetch: Option<Prefetcher>,
 }
 
 impl LazyArray {
@@ -34,7 +36,26 @@ impl LazyArray {
         source: Box<dyn ChunkSource>,
         budget_bytes: u64,
     ) -> LazyArray {
-        LazyArray { layout, kind, cache: ChunkCache::new(budget_bytes), source }
+        LazyArray { layout, kind, cache: ChunkCache::new(budget_bytes), source, prefetch: None }
+    }
+
+    /// Like [`new`](LazyArray::new), but miss-path I/O is attributed
+    /// to a source `label` (`netcdf:<var>`, `aqf:<file>`, `mem`) in
+    /// the per-source metric series and the `\store;` report.
+    pub fn labeled(
+        layout: ChunkLayout,
+        kind: ScalarKind,
+        source: Box<dyn ChunkSource>,
+        budget_bytes: u64,
+        label: impl Into<String>,
+    ) -> LazyArray {
+        LazyArray {
+            layout,
+            kind,
+            cache: ChunkCache::labeled(budget_bytes, label),
+            source,
+            prefetch: None,
+        }
     }
 
     /// The chunk layout.
@@ -52,13 +73,60 @@ impl LazyArray {
         self.cache.stats()
     }
 
+    /// The source label miss-path I/O is attributed to, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.cache.label()
+    }
+
+    /// Payload bytes currently resident in this array's cache.
+    pub fn cache_bytes_held(&self) -> u64 {
+        self.cache.bytes_held()
+    }
+
+    /// This array's cache byte budget.
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.cache.budget_bytes()
+    }
+
+    /// Chunks currently resident in this array's cache.
+    pub fn chunks_held(&self) -> usize {
+        self.cache.chunks_held()
+    }
+
+    /// Attach a read-ahead [`Prefetcher`]. Every chunk access is
+    /// reported to it, and misses consult its warm pool before going
+    /// to the source. Replaces (and shuts down) any previous one.
+    pub fn attach_prefetcher(&mut self, prefetcher: Prefetcher) {
+        self.prefetch = Some(prefetcher);
+    }
+
+    /// Detach and shut down the prefetcher, if any.
+    pub fn detach_prefetcher(&mut self) {
+        self.prefetch = None;
+    }
+
+    /// Effectiveness counters of the attached prefetcher, if any.
+    pub fn prefetch_stats(&self) -> Option<PrefetchStats> {
+        self.prefetch.as_ref().map(Prefetcher::stats)
+    }
+
     /// The element at multidimensional index `idx`; `Ok(None)` when
     /// the index is out of bounds.
     pub fn get(&mut self, idx: &[u64]) -> Result<Option<Scalar>, StoreError> {
         let Some(addr) = self.layout.locate(idx) else {
             return Ok(None);
         };
-        let buf = load_chunk(&mut self.cache, &self.layout, self.kind, &mut self.source, addr.chunk)?;
+        if let Some(pf) = &mut self.prefetch {
+            pf.observe(addr.chunk);
+        }
+        let buf = load_chunk(
+            &mut self.cache,
+            &self.layout,
+            self.kind,
+            &mut self.source,
+            self.prefetch.as_mut(),
+            addr.chunk,
+        )?;
         let s = buf.get(addr.offset as usize).ok_or_else(|| {
             StoreError::Corrupt(format!(
                 "chunk {} has no offset {} despite validated length",
@@ -129,20 +197,21 @@ impl LazyArray {
     }
 }
 
-/// Load chunk `id` through the cache, validating length and kind.
+/// Load chunk `id` through the cache, validating length and kind. On
+/// a miss the prefetcher's warm pool is consulted before the source.
 fn load_chunk(
     cache: &mut ChunkCache,
     layout: &ChunkLayout,
     kind: ScalarKind,
     source: &mut Box<dyn ChunkSource>,
+    prefetch: Option<&mut Prefetcher>,
     id: u64,
 ) -> Result<Rc<ScalarBuf>, StoreError> {
     let (start, count) = layout
         .chunk_bounds(id)
         .ok_or_else(|| StoreError::Shape(format!("chunk id {id} out of range")))?;
     let want = layout.chunk_len(id).expect("bounds exist");
-    cache.get_or_load(id, || {
-        let buf = source.read_chunk(&start, &count)?;
+    let validate = |buf: ScalarBuf| -> Result<ScalarBuf, StoreError> {
         if buf.len() as u64 != want {
             return Err(StoreError::Corrupt(format!(
                 "chunk {id}: source returned {} elements, layout expects {want}",
@@ -156,6 +225,16 @@ fn load_chunk(
             )));
         }
         Ok(buf)
+    };
+    cache.get_or_load(id, || {
+        if let Some(pf) = prefetch {
+            if let Some(buf) = pf.take(id) {
+                // Warm buffers get the same validation: the worker's
+                // source handle could misbehave independently.
+                return validate(buf);
+            }
+        }
+        validate(source.read_chunk(&start, &count)?)
     })
 }
 
@@ -280,6 +359,45 @@ mod tests {
         // Second probe in the same chunk hits.
         a.get(&[55, 6]).unwrap();
         assert_eq!(a.stats().hits, 1);
+    }
+
+    #[test]
+    fn prefetcher_serves_sequential_misses() {
+        use crate::mem::MemChunkSource;
+        use crate::prefetch::{PrefetchConfig, Prefetcher};
+
+        let n = 64u64;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mem = MemChunkSource::new(vec![n], ScalarBuf::F64(data)).unwrap();
+        let layout = ChunkLayout::new(vec![n], vec![4]).unwrap();
+        let mut a = LazyArray::labeled(
+            layout.clone(),
+            ScalarKind::F64,
+            Box::new(mem.clone()),
+            1 << 20,
+            "mem",
+        );
+        a.attach_prefetcher(Prefetcher::spawn(
+            Box::new(mem),
+            layout,
+            PrefetchConfig { depth: 2, pool_bytes: 1 << 16 },
+        ));
+        for i in 0..n {
+            assert_eq!(a.get(&[i]).unwrap(), Some(Scalar::F64(i as f64)));
+            // Give the worker a chance to stay ahead of the scan; the
+            // values must be right regardless of who loaded them.
+            if i % 4 == 3 {
+                if let Some(pf) = &a.prefetch {
+                    pf.quiesce();
+                }
+            }
+        }
+        let pf = a.prefetch_stats().unwrap();
+        assert!(pf.issued > 0, "sequential scan must trigger speculation");
+        assert!(pf.hits > 0, "warm pool must serve some misses");
+        assert_eq!(a.label(), Some("mem"));
+        a.detach_prefetcher();
+        assert_eq!(a.get(&[5]).unwrap(), Some(Scalar::F64(5.0)));
     }
 
     #[test]

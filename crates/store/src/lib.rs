@@ -50,6 +50,9 @@ pub mod governor;
 pub mod interrupt;
 pub mod layout;
 pub mod lazy;
+pub mod mem;
+pub mod prefetch;
+pub mod remote;
 pub mod resilient;
 pub mod source;
 pub mod stats;
@@ -60,6 +63,9 @@ pub use error::{FaultClass, Interrupt, StoreError};
 pub use fault::{ChunkFaultPlan, FaultyChunkSource};
 pub use layout::{ChunkAddr, ChunkLayout};
 pub use lazy::LazyArray;
+pub use mem::{MemChunkSource, MEM_SOURCE_LABEL};
+pub use prefetch::{PrefetchConfig, PrefetchStats, Prefetcher};
+pub use remote::RemoteChunkSource;
 pub use resilient::{
     BreakerPolicy, BreakerState, CircuitBreaker, ResiliencePolicy, ResilientSource, RetryPolicy,
 };

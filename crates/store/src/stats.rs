@@ -122,6 +122,34 @@ pub(crate) fn global_add(delta: CacheStats) {
     M_LOAD_ERRORS.add(delta.load_errors);
 }
 
+/// Attribute miss-path I/O to a *source* label (`netcdf:<var>`,
+/// `aqf:<file>`, `mem`, …): per-source series under the same
+/// `aql_store_cache_bytes_read_total` / `…_load_errors_total` families
+/// the unlabeled process totals live in, so multi-backend I/O is
+/// attributable in the Prometheus endpoint. Called only when a counter
+/// actually moved — the registry lookup never lands on the hit path.
+pub(crate) fn note_labeled(label: &str, bytes_read: u64, load_errors: u64) {
+    if !aql_metrics::enabled() {
+        return;
+    }
+    if bytes_read > 0 {
+        aql_metrics::counter_with(
+            "aql_store_cache_bytes_read_total",
+            &[("source", label)],
+            "Payload bytes loaded from chunk sources on misses.",
+        )
+        .add(bytes_read);
+    }
+    if load_errors > 0 {
+        aql_metrics::counter_with(
+            "aql_store_cache_load_errors_total",
+            &[("source", label)],
+            "Chunk-loader invocations that returned an error.",
+        )
+        .add(load_errors);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

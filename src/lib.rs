@@ -16,6 +16,7 @@
 pub mod externals;
 
 pub use aql_core as core;
+pub use aql_format as format;
 pub use aql_lang as lang;
 pub use aql_metrics as metrics;
 pub use aql_netcdf as netcdf;

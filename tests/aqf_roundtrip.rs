@@ -1,0 +1,178 @@
+//! Property-based round-trip tests for AQF: random shapes and dtypes
+//! — including edge chunks and zero extents — written with and
+//! without compression must reopen value-identical.
+
+use proptest::prelude::*;
+
+use aql::core::value::{ArrayVal, Value};
+use aql::format::{write_array, AqfReader};
+use aql::lang::reader::Reader as _;
+use aql::lang::session::Session;
+
+/// A random array description: rank 1..=3, extents 0..6 (zero extents
+/// make empty chunk grids), chunk target 1..48 elements (forcing edge
+/// chunks), one of the three persisted dtypes.
+#[derive(Debug, Clone)]
+struct Spec {
+    dims: Vec<u64>,
+    chunk_elems: u64,
+    dtype: u8, // 0 = real, 1 = nat, 2 = bool
+    compress: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (
+        prop::collection::vec(0u64..6, 1..4),
+        1u64..48,
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(|(dims, chunk_elems, dtype, compress)| Spec {
+            dims,
+            chunk_elems,
+            dtype,
+            compress,
+        })
+}
+
+/// Deterministic data for a spec: values vary by position so chunk
+/// mix-ups cannot cancel out.
+fn build(spec: &Spec) -> ArrayVal {
+    let len = spec.dims.iter().product::<u64>() as usize;
+    let data: Vec<Value> = (0..len)
+        .map(|i| match spec.dtype {
+            0 => Value::Real(i as f64 * 0.375 - 11.0),
+            1 => Value::Nat((i as u64).wrapping_mul(37) % 1000),
+            _ => Value::Bool(i % 3 == 1),
+        })
+        .collect();
+    ArrayVal::new(spec.dims.clone(), data).expect("build array")
+}
+
+/// Bit-exact scalar comparison: `Real` compares by `to_bits`, so NaN
+/// round-trips count as equal and -0.0 ≠ 0.0 regressions are caught.
+fn same_value(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Real(x), Value::Real(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Write `arr` to a scratch AQF file, reopen it through the lazy
+/// reader, and compare dims, type and every element.
+fn roundtrip(arr: &ArrayVal, compress: bool, chunk_elems: u64, what: &str) {
+    let dir = std::env::temp_dir().join(format!(
+        "aql-aqfrt-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("rt.aqf");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    write_array(path_str, arr, compress, chunk_elems).expect("write");
+    let (value, ty) = AqfReader::default().read(&Value::str(path_str)).expect("reopen");
+    let back = value.as_array().expect("reopened as array");
+
+    assert_eq!(back.dims(), arr.dims(), "{what}: dims");
+    assert_eq!(back.rank(), arr.rank(), "{what}: rank");
+    assert!(ty.is_some(), "{what}: reader declares its type");
+    for off in 0..arr.len() {
+        let want = arr.try_value_at(off).expect("original element").expect("in range");
+        let got = back.try_value_at(off).expect("reopened element").expect("in range");
+        assert!(
+            same_value(&want, &got),
+            "{what}: element {off} differs: wrote {want}, reread {got}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_arrays_roundtrip(spec in arb_spec()) {
+        let arr = build(&spec);
+        roundtrip(&arr, spec.compress, spec.chunk_elems, &format!("{spec:?}"));
+    }
+}
+
+#[test]
+fn zero_extent_arrays_roundtrip() {
+    for dims in [vec![0], vec![0, 3], vec![4, 0, 2]] {
+        let arr = ArrayVal::new(dims.clone(), vec![]).expect("empty array");
+        roundtrip(&arr, true, 8, &format!("zero extents {dims:?}"));
+    }
+}
+
+#[test]
+fn special_reals_roundtrip_bit_exact() {
+    let data = vec![
+        Value::Real(f64::NAN),
+        Value::Real(f64::INFINITY),
+        Value::Real(f64::NEG_INFINITY),
+        Value::Real(-0.0),
+        Value::Real(f64::MIN_POSITIVE),
+        Value::Real(1.0e300),
+    ];
+    let arr = ArrayVal::new(vec![6], data).expect("array");
+    for compress in [false, true] {
+        roundtrip(&arr, compress, 4, &format!("special reals, compress={compress}"));
+    }
+}
+
+#[test]
+fn large_nats_roundtrip_and_huge_nats_are_rejected() {
+    let arr = ArrayVal::new(
+        vec![3],
+        vec![
+            Value::Nat(0),
+            Value::Nat(i64::MAX as u64),
+            Value::Nat(12345),
+        ],
+    )
+    .expect("array");
+    roundtrip(&arr, true, 2, "nat at the i64 boundary");
+
+    // A nat beyond i64::MAX has no representation in the format's I64
+    // chunks: the writer must reject it, not wrap it.
+    let dir = std::env::temp_dir().join(format!("aql-aqfrt-huge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("huge.aqf");
+    let huge = ArrayVal::new(vec![1], vec![Value::Nat(u64::MAX)]).expect("array");
+    let err = write_array(path.to_str().expect("utf-8"), &huge, true, 8).unwrap_err();
+    assert!(format!("{err}").contains("integer range"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The spill round-trips at the session level too: a `nat` array saved
+/// and reopened through `readval` rebinds at its original type.
+#[test]
+fn session_readval_rebinds_nat_arrays_as_nat() {
+    let dir = std::env::temp_dir().join(format!("aql-aqfrt-sess-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("nats.aqf");
+    let path_str = path.to_str().expect("utf-8");
+
+    let mut s = Session::new();
+    aql::format::register_aqf(&mut s);
+    s.run("val \\N = [[ i * i | \\i < 10 ]];").expect("bind");
+    let arr = s.val("N").expect("bound").as_array().expect("array").clone();
+    write_array(path_str, &arr, true, 4).expect("write");
+
+    let r = AqfReader::default();
+    let (v, ty) = r.read(&Value::str(path_str)).expect("reopen");
+    assert_eq!(format!("{}", ty.expect("declared")), "[[nat]]_1");
+    let back = v.as_array().expect("array");
+    for i in 0..10u64 {
+        assert_eq!(back.get(&[i]).expect("in range"), Value::Nat(i * i));
+    }
+
+    // And through the statement surface: writeval + readval.
+    s.run(&format!("writeval N using AQF at \"{path_str}\";")).expect("writeval");
+    s.run(&format!("readval \\M using AQF at \"{path_str}\";")).expect("readval");
+    let (_, eq) = s.eval_query("{ 0 | \\i <- gen!10, M[i] <> N[i] }").expect("compare");
+    assert_eq!(format!("{}", aql::core::value::print::session_string(&eq, 10)), "{}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,194 @@
+//! End-to-end AQF acceptance: spilling a lazy NetCDF-backed binding
+//! to AQF streams chunk-by-chunk (peak governed residency stays under
+//! the cache budget, not the variable size), the reopened file serves
+//! point probes from a single chunk, per-source I/O shows up in the
+//! labeled metric series, and the REPL's `\store;` / `\save` commands
+//! render deterministic (golden) reports.
+
+use std::rc::Rc;
+use std::sync::Mutex;
+
+use aql::format::{register_aqf, SessionAqfExt as _};
+use aql::lang::repl::run_repl;
+use aql::lang::session::Session;
+use aql::netcdf::driver::NetcdfSlabReader;
+use aql::netcdf::format::VERSION_CLASSIC;
+use aql::netcdf::synth::year_temp_file;
+use aql::netcdf::write::write_file;
+use aql::store::governor;
+
+/// Bytes of the full synthetic `temp(8760, 5, 5)` variable.
+const FULL_BYTES: u64 = 8760 * 5 * 5 * 8;
+/// Cache budget for the lazy NetCDF binding in the spill test — small
+/// enough that streaming is observable (≈ 15% of the variable).
+const SPILL_BUDGET: u64 = 256 << 10;
+
+/// The governor ledger is process-global; tests in this binary take
+/// this lock so peak/in-use assertions see only their own traffic.
+static GOVERNOR: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aql-aqfspill-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+/// Write the synthetic weather file and return its path string.
+fn synth_nc(dir: &std::path::Path) -> String {
+    let path = dir.join("temp.nc");
+    write_file(&year_temp_file().expect("synth"), &path, VERSION_CLASSIC).expect("write nc");
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+#[test]
+fn spill_streams_reopens_and_probes_cheaply() {
+    let _gov = GOVERNOR.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("e2e");
+    let nc = synth_nc(&dir);
+    let aqf = dir.join("temp.aqf").to_str().expect("utf-8").to_string();
+
+    let mut s = Session::new();
+    let mut r = NetcdfSlabReader::lazy(3);
+    r.cache_budget = SPILL_BUDGET;
+    s.register_reader("NC", Rc::new(r));
+    register_aqf(&mut s);
+    s.run(&format!(
+        "readval \\T using NC at (\"{nc}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+    ))
+    .expect("bind");
+
+    // The spill must stream: the governor's high-water mark over the
+    // whole `writeval` stays bounded by the source cache budget (plus
+    // one in-flight chunk of slack), nowhere near the variable size.
+    governor::reset_peak();
+    s.run(&format!("writeval T using AQF at \"{aqf}\";")).expect("spill");
+    let peak = governor::peak_bytes();
+    assert!(peak > 0, "the spill went through the governed cache");
+    assert!(
+        peak <= SPILL_BUDGET + (64 << 10),
+        "peak governed residency {peak} exceeds the {SPILL_BUDGET}-byte cache budget — \
+         the spill materialized instead of streaming"
+    );
+    assert!(peak < FULL_BYTES / 2, "peak {peak} is the wrong order of magnitude");
+
+    // Reopen lazily and point-probe: the probe must read one chunk,
+    // under 2% of the variable's bytes, and agree with the source.
+    let (_, want) = s.eval_query("T[5000, 2, 2]").expect("source probe");
+    s.run(&format!("readval \\A using AQF at \"{aqf}\";")).expect("reopen");
+    let before = aql::store::stats::global();
+    let (_, got) = s.eval_query("A[5000, 2, 2]").expect("aqf probe");
+    let delta = aql::store::stats::global().delta_since(&before);
+    assert_eq!(format!("{got}"), format!("{want}"), "probe values agree");
+    assert!(delta.bytes_read > 0, "the probe was served from disk");
+    assert!(
+        delta.bytes_read * 50 < FULL_BYTES,
+        "probe read {} bytes — 2% of the {FULL_BYTES}-byte variable or more",
+        delta.bytes_read
+    );
+
+    // The reopened binding reports its residency, and the probe's I/O
+    // landed in the per-source labeled metric series.
+    let report = s.store_report();
+    assert!(report.contains("source=aqf:temp.aqf"), "{report}");
+    assert!(report.contains("prefetch issued="), "{report}");
+    let labeled: Vec<(String, u64)> = aql::metrics::snapshot()
+        .into_iter()
+        .filter(|(k, _)| {
+            k.starts_with("aql_store_cache_bytes_read_total{") && k.contains("aqf:temp.aqf")
+        })
+        .collect();
+    assert!(
+        labeled.iter().any(|(_, v)| *v > 0),
+        "no labeled bytes_read series for the AQF source: {labeled:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spill_aqf_rebinds_in_place() {
+    let _gov = GOVERNOR.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("api");
+    let aqf = dir.join("squares.aqf").to_str().expect("utf-8").to_string();
+
+    let mut s = Session::new();
+    s.run("val \\S = [[ i * i | \\i < 50 ]];").expect("bind");
+    assert!(s.val("S").expect("bound").as_array().expect("array").store_info().is_none());
+
+    let summary = s.spill_aqf("S", &aqf).expect("spill");
+    assert_eq!(summary.chunks, 1);
+    assert_eq!(summary.raw_bytes, 50 * 8);
+
+    // Same name, same values — but the binding is now lazy over the
+    // file, with a store report to show for it.
+    let arr = s.val("S").expect("still bound").as_array().expect("array").clone();
+    let info = arr.store_info().expect("lazy after spill");
+    assert_eq!(info.label.as_deref(), Some("aqf:squares.aqf"));
+    let (_, v) = s.eval_query("S[7]").expect("probe");
+    assert_eq!(format!("{v}"), "49");
+    // save_aqf without rebinding leaves the binding alone.
+    let again = dir.join("again.aqf").to_str().expect("utf-8").to_string();
+    s.save_aqf("S", &again).expect("save");
+    assert!(s.val("S").expect("bound").as_array().expect("array").is_lazy());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drive a fresh session (with the AQF driver registered) through the
+/// REPL and return the timing-redacted transcript.
+fn redacted_transcript(input: &str) -> String {
+    let mut s = Session::new();
+    register_aqf(&mut s);
+    let mut reader = std::io::BufReader::new(input.as_bytes());
+    let mut out: Vec<u8> = Vec::new();
+    run_repl(&mut s, &mut reader, &mut out).expect("repl");
+    aql::trace::redact_timings(&String::from_utf8(out).expect("utf-8"))
+}
+
+#[test]
+fn repl_store_and_save_goldens() {
+    let _gov = GOVERNOR.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("repl");
+    let aqf = dir.join("store.aqf").to_str().expect("utf-8").to_string();
+
+    // Seed the file through the REPL itself: bind, \save, reopen,
+    // probe, \store.
+    let input = format!(
+        "val \\G = [[ i + 2 * j | \\i < 20, \\j < 20 ]];\n\
+         \\save G \"{aqf}\";\n\
+         readval \\A using AQF at \"{aqf}\";\n\
+         A[3, 4];\n\
+         \\store;\n"
+    );
+    let text = redacted_transcript(&input);
+    assert!(text.contains("val it = () written using AQF."), "{text}");
+    assert!(text.contains("typ A : [[nat]]_2"), "{text}");
+    assert!(text.contains("val it = 11"), "{text}");
+    assert!(text.contains("store: 1 open chunk source(s)"), "{text}");
+    assert!(text.contains("source=aqf:store.aqf"), "{text}");
+    assert!(text.contains("prefetch issued="), "{text}");
+    assert!(text.contains("governor: budget="), "{text}");
+    // Golden: the whole transcript is deterministic across fresh
+    // sessions (cache/residency counters included — same statements,
+    // same chunks; the governor peak is monotonic and already at its
+    // high-water mark after the first pass).
+    assert_eq!(text, redacted_transcript(&input), "transcript is reproducible");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_save_requires_the_registered_writer() {
+    let _gov = GOVERNOR.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("save-err");
+    let aqf = dir.join("missing.aqf").to_str().expect("utf-8").to_string();
+    // `\save` of an unbound val errors through the writeval path and
+    // the REPL keeps running.
+    let input = format!("\\save nosuch \"{aqf}\";\n1 + 1;\n");
+    let text = redacted_transcript(&input);
+    assert!(text.contains("error:"), "{text}");
+    assert!(text.contains("val it = 2"), "{text}");
+    assert!(!std::path::Path::new(&aqf).exists(), "no file for a failed save");
+    std::fs::remove_dir_all(&dir).ok();
+}

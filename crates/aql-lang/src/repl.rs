@@ -25,6 +25,9 @@ meta-commands:
   \\metrics;                print the process-lifetime metrics registry
   \\metrics serve [addr];   serve Prometheus exposition (default 127.0.0.1:0)
   \\store;                  list open chunk sources, cache residency, governor
+  \\attr;                   per-query resource attribution of the last run
+  \\doctor [\"<path>\"];      analyze the last (or given) incident, or the live journal
+  \\incidents \"<dir>\";      dump incident files into <dir> (\\incidents off; stops)
   \\save <val> \"<path>\";    save a bound array to an AQF file (writeval using AQF)
   \\help;                   this listing
   quit / exit              leave the session
@@ -167,6 +170,63 @@ pub fn run_repl(
             pending.clear();
             continue;
         }
+        // `\attr;` renders the per-query resource attribution of the
+        // most recent run: bytes and chunks by source label, per-phase
+        // wall time, and governor pressure.
+        if trimmed_stmt == "\\attr;" {
+            let ledgers = session.statement_attribution();
+            if ledgers.is_empty() {
+                writeln!(output, "attr: no statements run yet")?;
+            }
+            for (i, l) in ledgers.iter().enumerate() {
+                writeln!(output, "stmt {i}:")?;
+                write!(output, "{}", l.render())?;
+            }
+            pending.clear();
+            continue;
+        }
+        // `\doctor;` analyzes the most recent incident dump (or the
+        // live flight recorder when none exists); `\doctor "<path>";`
+        // analyzes a specific incident file.
+        if let Some(rest) = trimmed_stmt.strip_prefix("\\doctor") {
+            let arg = rest.trim_end().trim_end_matches(';').trim();
+            if arg.is_empty() {
+                write!(output, "{}", session.doctor())?;
+            } else {
+                match parse_quoted(arg) {
+                    Some(path) => {
+                        match aql_journal::incident::Incident::load(std::path::Path::new(path)) {
+                            Ok(inc) => {
+                                write!(output, "{}", aql_journal::doctor::diagnose(&inc))?
+                            }
+                            Err(e) => writeln!(output, "error: {e}")?,
+                        }
+                    }
+                    None => writeln!(output, "error: usage: \\doctor [\"<path>\"];")?,
+                }
+            }
+            pending.clear();
+            continue;
+        }
+        // `\incidents "<dir>";` turns the incident dump pipeline on;
+        // `\incidents off;` turns it off.
+        if let Some(rest) = trimmed_stmt.strip_prefix("\\incidents") {
+            let arg = rest.trim_end().trim_end_matches(';').trim();
+            if arg == "off" {
+                session.disable_incidents();
+                writeln!(output, "incidents: off")?;
+            } else {
+                match parse_quoted(arg) {
+                    Some(dir) => {
+                        session.enable_incidents(crate::session::IncidentConfig::new(dir));
+                        writeln!(output, "incidents: dumping into {dir}")?;
+                    }
+                    None => writeln!(output, "error: usage: \\incidents \"<dir>\"; | off;")?,
+                }
+            }
+            pending.clear();
+            continue;
+        }
         // `\metrics;` dumps the registry: one `series value` per line.
         if trimmed_stmt == "\\metrics;" {
             for (k, v) in aql_metrics::snapshot() {
@@ -187,6 +247,13 @@ pub fn run_repl(
         pending.clear();
     }
     Ok(executed)
+}
+
+/// Strip a double-quoted argument (`"<text>"`). Returns `None` when it
+/// isn't quoted or embeds a quote.
+fn parse_quoted(arg: &str) -> Option<&str> {
+    let inner = arg.strip_prefix('"')?.strip_suffix('"')?;
+    (!inner.is_empty() && !inner.contains('"')).then_some(inner)
 }
 
 /// Split `\save` arguments: a val name followed by a double-quoted
@@ -424,7 +491,7 @@ mod tests {
         let text = redacted_transcript("\\help;\n1 + 1;\n");
         for cmd in [
             "vals;", "macros;", "\\explain", "\\lint", "\\profile", "\\metrics", "\\store",
-            "\\save", "\\help", "quit",
+            "\\attr", "\\doctor", "\\incidents", "\\save", "\\help", "quit",
         ] {
             assert!(text.contains(cmd), "`{cmd}` missing from \\help: {text}");
         }
@@ -503,6 +570,53 @@ mod tests {
         assert_eq!(parse_save_args("x"), None);
         assert_eq!(parse_save_args("x \"\""), None, "empty path");
         assert_eq!(parse_save_args("x; drop \"p\""), None, "name must be an identifier");
+    }
+
+    #[test]
+    fn backslash_attr_renders_the_last_run() {
+        // A bare session has no prelude run behind it, so the first
+        // `\attr;` reports emptiness; after a statement, one ledger.
+        let mut s = Session::bare();
+        let input = "\\attr;\n1 + 1;\n\\attr;\n";
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("attr: no statements run yet"), "{text}");
+        assert!(text.contains("stmt 0:"), "{text}");
+        assert!(text.contains("governor: peak"), "{text}");
+        assert!(text.contains("val it = 2"), "the REPL keeps running: {text}");
+    }
+
+    #[test]
+    fn backslash_doctor_and_incidents_work_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("aql-repl-doc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = format!(
+            "\\incidents \"{}\";\nno_such_name + 1;\n\\doctor;\n\\incidents off;\n",
+            dir.display()
+        );
+        let mut s = Session::new();
+        let mut reader = BufReader::new(input.as_bytes());
+        let mut out: Vec<u8> = Vec::new();
+        run_repl(&mut s, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("incidents: dumping into"), "{text}");
+        assert!(text.contains("error:"), "the bad statement errors: {text}");
+        assert!(text.contains("incident:"), "\\doctor names the dump: {text}");
+        assert!(text.contains("fault class"), "\\doctor classifies: {text}");
+        assert!(text.contains("incidents: off"), "{text}");
+        // `\doctor "<path>";` reads a specific file.
+        let path = aql_journal::incident::list_incidents(&dir)
+            .pop()
+            .expect("an incident file exists");
+        let text2 = redacted_transcript(&format!("\\doctor \"{}\";\n", path.display()));
+        assert!(text2.contains("fault class"), "{text2}");
+        // Malformed arg is a usage error, not a crash.
+        let text3 = redacted_transcript("\\doctor nope;\n1 + 1;\n");
+        assert!(text3.contains("usage: \\doctor"), "{text3}");
+        assert!(text3.contains("val it = 2"), "{text3}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

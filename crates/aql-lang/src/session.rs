@@ -190,13 +190,43 @@ impl Drop for PhaseGuard<'_> {
 /// FNV-1a 64 over the statement's debug form: a stable fingerprint
 /// for grouping slow-log records of the same statement shape without
 /// logging query text verbatim.
-fn stmt_hash(stmt: &Stmt) -> String {
+fn stmt_hash_u64(stmt: &Stmt) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in format!("{stmt:?}").bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    format!("{h:016x}")
+    h
+}
+
+fn stmt_hash(stmt: &Stmt) -> String {
+    format!("{:016x}", stmt_hash_u64(stmt))
+}
+
+/// Configuration of the incident dump pipeline: when a statement ends
+/// badly (error, resource exhaustion, a breaker trip during it, or a
+/// slow-query threshold crossing), the session snapshots the flight
+/// recorder's last events, the statement's attribution ledger, and the
+/// metrics that moved, into one self-contained JSON file under `dir`
+/// (see `aql_journal::incident` and DESIGN.md §14).
+#[derive(Debug, Clone)]
+pub struct IncidentConfig {
+    /// Directory incident files are written to (created on demand).
+    pub dir: std::path::PathBuf,
+    /// How many flight-recorder events to keep in the dump.
+    pub last_events: usize,
+    /// Statements at or above this wall time dump a `slow` incident.
+    /// `None` falls back to the slow-query log's threshold when that
+    /// log is enabled, otherwise slow statements never dump.
+    pub slow_threshold: Option<Duration>,
+}
+
+impl IncidentConfig {
+    /// A config with the default window (256 events) and no standalone
+    /// slow threshold.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> IncidentConfig {
+        IncidentConfig { dir: dir.into(), last_events: 256, slow_threshold: None }
+    }
 }
 
 /// The kind of statement an outcome came from.
@@ -272,6 +302,11 @@ pub struct QueryReport {
     /// counters, so reader I/O and echo-forced loads are attributed
     /// to the statement that caused them.
     pub statements: Vec<EvalStats>,
+    /// Per-statement resource attribution ledgers, parallel to
+    /// `statements`: bytes and chunks by labeled source, per-phase wall
+    /// time, and governor pressure (see `aql_journal::attr`). Rendered
+    /// by the REPL's `\attr;`.
+    pub attribution: Vec<aql_journal::attr::Ledger>,
     /// The span tree and counters collected while tracing was on
     /// (empty for an untraced run).
     pub trace: aql_trace::Trace,
@@ -296,6 +331,15 @@ impl QueryReport {
             (
                 "statements".to_string(),
                 Json::Arr(self.statements.iter().map(stats_to_json).collect()),
+            ),
+            (
+                "attribution".to_string(),
+                Json::Arr(
+                    self.attribution
+                        .iter()
+                        .map(aql_journal::attr::Ledger::to_json_value)
+                        .collect(),
+                ),
             ),
             ("trace".to_string(), self.trace.to_json_value()),
             (
@@ -328,6 +372,16 @@ impl QueryReport {
         let trace = aql_trace::Trace::from_json_value(
             j.get("trace").ok_or("report: missing `trace`")?,
         )?;
+        // `attribution` is optional: reports serialized before the
+        // flight recorder existed stay parseable.
+        let attribution = match j.get("attribution") {
+            None => Vec::new(),
+            Some(aql_trace::json::Json::Arr(ls)) => ls
+                .iter()
+                .map(aql_journal::attr::Ledger::from_json_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("report: `attribution` must be an array".to_string()),
+        };
         // `metrics` is optional: reports serialized before the metrics
         // registry existed stay parseable.
         let metrics = match j.get("metrics") {
@@ -342,7 +396,7 @@ impl QueryReport {
                 .collect::<Result<Vec<_>, _>>()?,
             Some(_) => return Err("report: `metrics` must be an object".to_string()),
         };
-        Ok(QueryReport { statements, trace, metrics })
+        Ok(QueryReport { statements, attribution, trace, metrics })
     }
 
     /// The `\profile` rendering: the phase-timing tree followed by the
@@ -356,7 +410,7 @@ impl QueryReport {
         let t = self.total();
         out.push_str(&format!(
             "totals: steps={} subscripts={} materialized={} | cache: hits={} \
-             misses={} evictions={} bytes_read={} load_errors={}\n",
+             misses={} evictions={} bytes_read={} prefetched={} load_errors={}\n",
             t.steps,
             t.subscripts,
             t.materialized,
@@ -364,6 +418,7 @@ impl QueryReport {
             t.cache.misses,
             t.cache.evictions,
             t.cache.bytes_read,
+            t.cache.prefetched_bytes,
             t.cache.load_errors,
         ));
         if self.statements.len() > 1 {
@@ -393,6 +448,7 @@ fn stats_to_json(s: &EvalStats) -> aql_trace::json::Json {
                 ("misses".to_string(), n(s.cache.misses)),
                 ("evictions".to_string(), n(s.cache.evictions)),
                 ("bytes_read".to_string(), n(s.cache.bytes_read)),
+                ("prefetched_bytes".to_string(), n(s.cache.prefetched_bytes)),
                 ("load_errors".to_string(), n(s.cache.load_errors)),
             ]),
         ),
@@ -415,6 +471,11 @@ fn stats_from_json(j: &aql_trace::json::Json) -> Result<EvalStats, String> {
             misses: field(cache, "misses")?,
             evictions: field(cache, "evictions")?,
             bytes_read: field(cache, "bytes_read")?,
+            // Absent in pre-prefetch-attribution reports.
+            prefetched_bytes: cache
+                .get("prefetched_bytes")
+                .and_then(aql_trace::json::Json::as_u64)
+                .unwrap_or(0),
             load_errors: field(cache, "load_errors")?,
         },
     })
@@ -458,6 +519,14 @@ pub struct Session {
     cur_phases: PhaseAcc,
     /// The slow-query log, if enabled.
     slow_log: Option<SlowLog>,
+    /// The incident dump pipeline, if enabled.
+    incidents: Option<IncidentConfig>,
+    /// Path of the most recent incident dump (drives `\doctor` and the
+    /// slow log's `incident` member).
+    last_incident: RefCell<Option<std::path::PathBuf>>,
+    /// Per-statement attribution ledgers of the most recent
+    /// [`Session::run`], parallel to `stmt_stats`.
+    stmt_attr: RefCell<Vec<aql_journal::attr::Ledger>>,
     /// Monotone statement sequence number (drives `sample_every`).
     stmt_seq: Cell<u64>,
 }
@@ -494,6 +563,9 @@ impl Session {
             stmt_stats: RefCell::new(Vec::new()),
             cur_phases: RefCell::new(Vec::new()),
             slow_log: None,
+            incidents: None,
+            last_incident: RefCell::new(None),
+            stmt_attr: RefCell::new(Vec::new()),
             stmt_seq: Cell::new(0),
         }
     }
@@ -517,6 +589,56 @@ impl Session {
         self.slow_log = None;
     }
 
+    /// Enable the incident dump pipeline: statements that error, hit a
+    /// resource limit, trip a circuit breaker, or cross the slow
+    /// threshold write a self-contained incident file into
+    /// `config.dir`. Dump failures are swallowed — incidents are
+    /// telemetry, never a reason to fail a query.
+    pub fn enable_incidents(&mut self, config: IncidentConfig) {
+        // Keep `GET /incidents` pointed at the same directory.
+        aql_metrics::http::set_incident_dir(Some(config.dir.clone()));
+        self.incidents = Some(config);
+    }
+
+    /// Stop dumping incidents.
+    pub fn disable_incidents(&mut self) {
+        aql_metrics::http::set_incident_dir(None);
+        self.incidents = None;
+    }
+
+    /// The incident-dump directory, when the pipeline is enabled.
+    pub fn incident_dir(&self) -> Option<std::path::PathBuf> {
+        self.incidents.as_ref().map(|c| c.dir.clone())
+    }
+
+    /// Path of the most recent incident dump of this session, if any.
+    pub fn last_incident_path(&self) -> Option<std::path::PathBuf> {
+        self.last_incident.borrow().clone()
+    }
+
+    /// The `\doctor` analysis: the most recent incident dump when one
+    /// exists, otherwise a live reading of the flight recorder plus the
+    /// last statement's attribution ledger.
+    pub fn doctor(&self) -> String {
+        if let Some(path) = self.last_incident_path() {
+            match aql_journal::incident::Incident::load(&path) {
+                Ok(inc) => {
+                    return format!(
+                        "incident: {}\n{}",
+                        path.display(),
+                        aql_journal::doctor::diagnose(&inc)
+                    )
+                }
+                Err(e) => {
+                    return format!("doctor: cannot load {}: {e}", path.display());
+                }
+            }
+        }
+        let journal = aql_journal::snapshot();
+        let attr = self.stmt_attr.borrow();
+        aql_journal::doctor::diagnose_live(&journal, attr.last())
+    }
+
     /// Statistics of the most recent [`Session::run`]: the
     /// component-wise sum over *all* its statements (steps plus the
     /// chunk-cache counters attributable to each). Zeroes before the
@@ -532,12 +654,20 @@ impl Session {
         self.stmt_stats.borrow().clone()
     }
 
+    /// Per-statement attribution ledgers of the most recent
+    /// [`Session::run`], in program order (parallel to
+    /// [`Session::statement_stats`]).
+    pub fn statement_attribution(&self) -> Vec<aql_journal::attr::Ledger> {
+        self.stmt_attr.borrow().clone()
+    }
+
     /// The report for the most recent [`Session::run`]. The trace is
     /// empty unless the run went through [`Session::profile`] (which
     /// returns the trace-bearing report directly).
     pub fn last_report(&self) -> QueryReport {
         QueryReport {
             statements: self.statement_stats(),
+            attribution: self.statement_attribution(),
             trace: aql_trace::Trace::default(),
             metrics: aql_metrics::snapshot(),
         }
@@ -664,6 +794,7 @@ impl Session {
     /// Execute a program (one or more `;`-terminated statements).
     pub fn run(&mut self, src: &str) -> Result<Vec<Outcome>, LangError> {
         self.stmt_stats.borrow_mut().clear();
+        self.stmt_attr.borrow_mut().clear();
         let stmts = parse_program(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for s in stmts {
@@ -684,6 +815,7 @@ impl Session {
         let outcomes = result?;
         Ok((outcomes, QueryReport {
             statements: self.statement_stats(),
+            attribution: self.statement_attribution(),
             trace,
             metrics: aql_metrics::snapshot(),
         }))
@@ -714,17 +846,48 @@ impl Session {
         aql_trace::note("kind", || kind.to_string());
         let seq = self.stmt_seq.get();
         self.stmt_seq.set(seq + 1);
+        let journal_on = aql_journal::enabled();
         // Wall time is measured only when someone consumes it: the
-        // metrics registry or the slow-query log.
-        let t0 = (aql_metrics::enabled() || self.slow_log.is_some()).then(Instant::now);
+        // metrics registry, the slow-query log, the flight recorder,
+        // or the incident pipeline.
+        let t0 = (aql_metrics::enabled()
+            || self.slow_log.is_some()
+            || journal_on
+            || self.incidents.is_some())
+        .then(Instant::now);
+        if journal_on {
+            aql_journal::record(
+                aql_journal::Tag::StmtBegin,
+                aql_journal::intern(kind),
+                seq,
+                stmt_hash_u64(stmt),
+            );
+        }
         let fires_base = self
             .slow_log
             .as_ref()
             .map(|_| aql_metrics::family_total("aql_opt_rule_fires_total"));
+        // Breaker trips *during* the statement are detected as a
+        // counter delta; the snapshot seeds the incident delta table.
+        let trips_base = self
+            .incidents
+            .as_ref()
+            .map(|_| aql_metrics::family_total("aql_store_breaker_trips_total"));
+        let metrics_base = self.incidents.as_ref().map(|_| aql_metrics::snapshot());
         let cache_base = aql_store::stats::global();
         self.cur_stats.set(EvalStats::default());
         self.cur_phases.borrow_mut().clear();
+        aql_store::governor::reset_peak();
+        aql_journal::attr::begin();
         let out = self.exec_inner(stmt);
+        let mut ledger = aql_journal::attr::finish();
+        ledger.phases = self
+            .cur_phases
+            .borrow()
+            .iter()
+            .map(|(p, ns)| (p.to_string(), *ns))
+            .collect();
+        ledger.governor_peak_bytes = aql_store::governor::peak_bytes();
         let mut st = self.cur_stats.take();
         st.cache = aql_store::stats::global().delta_since(&cache_base);
         self.stmt_stats.borrow_mut().push(st);
@@ -742,12 +905,104 @@ impl Session {
                 M_ERRORS.inc();
             }
         }
-        if let Some(t0) = t0 {
-            let dur = t0.elapsed();
+        let dur = t0.map(|t| t.elapsed());
+        if journal_on {
+            for (p, ns) in &ledger.phases {
+                aql_journal::record(aql_journal::Tag::Phase, aql_journal::intern(p), *ns, 0);
+            }
+            let outcome_label = match &out {
+                Ok(_) => "ok",
+                Err(e) => error_class(e),
+            };
+            aql_journal::record(
+                aql_journal::Tag::StmtEnd,
+                aql_journal::intern(outcome_label),
+                seq,
+                dur.map_or(0, |d| d.as_nanos() as u64),
+            );
+        }
+        let incident =
+            self.maybe_dump_incident(stmt, kind, seq, dur, &ledger, trips_base, metrics_base, &out);
+        self.stmt_attr.borrow_mut().push(ledger);
+        if let Some(dur) = dur {
             M_STATEMENT_NS.observe(dur.as_nanos() as u64);
-            self.maybe_log_slow(stmt, kind, seq, dur, &st, fires_base, out.is_err());
+            self.maybe_log_slow(
+                stmt,
+                kind,
+                seq,
+                dur,
+                &st,
+                fires_base,
+                out.is_err(),
+                incident.as_deref(),
+            );
         }
         out
+    }
+
+    /// Dump an incident file for the statement just executed, if the
+    /// pipeline is on and the outcome warrants one: errors (with
+    /// resource exhaustion told apart), breaker trips observed during
+    /// the statement, and slow-threshold crossings. Returns the file's
+    /// path; dump failures are swallowed.
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_dump_incident(
+        &self,
+        stmt: &Stmt,
+        kind: &'static str,
+        seq: u64,
+        dur: Option<Duration>,
+        ledger: &aql_journal::attr::Ledger,
+        trips_base: Option<u64>,
+        metrics_base: Option<Vec<(String, u64)>>,
+        out: &Result<Outcome, LangError>,
+    ) -> Option<std::path::PathBuf> {
+        let cfg = self.incidents.as_ref()?;
+        let trips = trips_base.map_or(0, |b| {
+            aql_metrics::family_total("aql_store_breaker_trips_total").saturating_sub(b)
+        });
+        let slow_threshold = cfg
+            .slow_threshold
+            .or_else(|| self.slow_log.as_ref().map(|l| l.config.threshold));
+        let slow = matches!((dur, slow_threshold), (Some(d), Some(t)) if d >= t);
+        use aql_journal::incident::{Incident, IncidentKind};
+        let ikind = match out {
+            Err(e) if is_resource_exhausted(e) => IncidentKind::ResourceExhausted,
+            Err(_) => IncidentKind::Error,
+            Ok(_) if trips > 0 => IncidentKind::BreakerTrip,
+            Ok(_) if slow => IncidentKind::Slow,
+            Ok(_) => return None,
+        };
+        let base = metrics_base.unwrap_or_default();
+        let metrics_delta: Vec<(String, u64)> = aql_metrics::snapshot()
+            .into_iter()
+            .filter_map(|(k, v)| {
+                let before = base.iter().find(|(bk, _)| *bk == k).map_or(0, |(_, bv)| *bv);
+                (v > before).then(|| (k, v - before))
+            })
+            .collect();
+        let incident = Incident {
+            kind: ikind,
+            seq,
+            stmt_hash: stmt_hash(stmt),
+            stmt_kind: kind.to_string(),
+            dur_ns: dur.map_or(0, |d| d.as_nanos() as u64),
+            error: out.as_ref().err().map(|e| e.to_string()),
+            events: aql_journal::snapshot().tail(cfg.last_events),
+            attribution: Some(ledger.clone()),
+            metrics_delta,
+        };
+        let path = incident.write_to(&cfg.dir).ok()?;
+        if aql_journal::enabled() {
+            aql_journal::record(
+                aql_journal::Tag::Incident,
+                aql_journal::intern(ikind.name()),
+                seq,
+                0,
+            );
+        }
+        *self.last_incident.borrow_mut() = Some(path.clone());
+        Some(path)
     }
 
     /// Append a slow-query-log record for the statement just executed,
@@ -764,11 +1019,20 @@ impl Session {
         stats: &EvalStats,
         fires_base: Option<u64>,
         errored: bool,
+        incident: Option<&std::path::Path>,
     ) {
         let Some(log) = &self.slow_log else { return };
         let slow = dur >= log.config.threshold;
         if slow {
             M_SLOW.inc();
+            if aql_journal::enabled() {
+                aql_journal::record(
+                    aql_journal::Tag::SlowQuery,
+                    aql_journal::intern(kind),
+                    seq,
+                    dur.as_nanos() as u64,
+                );
+            }
         }
         let sampled =
             !slow && log.config.sample_every > 0 && seq.is_multiple_of(log.config.sample_every);
@@ -786,8 +1050,12 @@ impl Session {
         let fires = fires_base.map_or(0, |base| {
             aql_metrics::family_total("aql_opt_rule_fires_total").saturating_sub(base)
         });
+        // Schema history (DESIGN.md §11): 2 adds `incident` (path of
+        // the statement's incident dump, or null) and
+        // `cache.prefetched_bytes`. Consumers of v1 records must treat
+        // both as absent-means-none.
         let rec = Json::Obj(vec![
-            ("schema_version".to_string(), n(1)),
+            ("schema_version".to_string(), n(2)),
             ("seq".to_string(), n(seq)),
             ("stmt_hash".to_string(), Json::Str(stmt_hash(stmt))),
             ("kind".to_string(), Json::Str(kind.to_string())),
@@ -810,11 +1078,19 @@ impl Session {
                     ("misses".to_string(), n(stats.cache.misses)),
                     ("evictions".to_string(), n(stats.cache.evictions)),
                     ("bytes_read".to_string(), n(stats.cache.bytes_read)),
+                    ("prefetched_bytes".to_string(), n(stats.cache.prefetched_bytes)),
                     ("load_errors".to_string(), n(stats.cache.load_errors)),
                 ]),
             ),
             ("rule_fires".to_string(), n(fires)),
             ("error".to_string(), Json::Bool(errored)),
+            (
+                "incident".to_string(),
+                match incident {
+                    Some(p) => Json::Str(p.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
         ]);
         use std::io::Write as _;
         let mut sink = log.sink.borrow_mut();
@@ -1216,6 +1492,35 @@ fn opt_error(e: OptError) -> LangError {
             rule: v.rule.to_string(),
             message: v.message,
         },
+    }
+}
+
+/// Whether a statement failure is resource exhaustion rather than a
+/// plain error — the distinction incident dumps record (`IncidentKind`)
+/// and `\doctor` keys its diagnosis on.
+fn is_resource_exhausted(e: &LangError) -> bool {
+    match e {
+        LangError::Eval(
+            EvalError::ResourceLimit { .. }
+            | EvalError::ResourceExhausted { .. }
+            | EvalError::StepLimit,
+        ) => true,
+        other => {
+            let s = other.to_string().to_ascii_lowercase();
+            s.contains("budget") || s.contains("exhaust")
+        }
+    }
+}
+
+/// The flight-recorder outcome label for a failed statement.
+fn error_class(e: &LangError) -> &'static str {
+    match e {
+        _ if is_resource_exhausted(e) => "resource-exhausted",
+        LangError::Eval(EvalError::Deadline) => "deadline",
+        LangError::Eval(EvalError::Cancelled) => "cancelled",
+        LangError::Eval(EvalError::Storage { .. }) => "storage",
+        LangError::Unsound { .. } => "unsound",
+        _ => "error",
     }
 }
 
@@ -1622,8 +1927,14 @@ mod tests {
         let lines = sink.lines();
         assert_eq!(lines.len(), 2, "threshold 0 logs every statement");
         let rec = Json::parse(&lines[0]).expect("each line must be valid JSON");
-        assert_eq!(rec.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(rec.get("schema_version").and_then(Json::as_u64), Some(2));
         assert_eq!(rec.get("kind").and_then(Json::as_str), Some("val"));
+        // v2: no incident pipeline configured ⇒ explicit null.
+        assert_eq!(rec.get("incident"), Some(&Json::Null));
+        assert!(
+            rec.get("cache").and_then(|c| c.get("prefetched_bytes")).is_some(),
+            "v2 carries cache.prefetched_bytes"
+        );
         assert_eq!(rec.get("slow"), Some(&Json::Bool(true)));
         assert_eq!(rec.get("error"), Some(&Json::Bool(false)));
         assert!(rec.get("dur_ns").and_then(Json::as_u64).is_some_and(|ns| ns > 0));
@@ -1712,6 +2023,169 @@ mod tests {
             report.metrics.iter().any(|(k, _)| k.contains("aql_session_statement_ns")),
             "statement latency histogram must appear in the snapshot"
         );
+    }
+
+    /// Bind a labeled lazy array so a statement has a source to charge.
+    fn bind_lazy(s: &mut Session, vname: &str, label: &str, n: u64) {
+        use aql_store::{ChunkLayout, LazyArray, MemChunkSource, ScalarBuf, ScalarKind};
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mem = MemChunkSource::new(vec![n], ScalarBuf::F64(data)).unwrap();
+        let layout = ChunkLayout::new(vec![n], vec![4]).unwrap();
+        let la = LazyArray::labeled(layout, ScalarKind::F64, Box::new(mem), 1 << 20, label);
+        let av = aql_core::value::array::ArrayVal::lazy(la).unwrap();
+        s.bind_val_typed(vname, Value::Array(std::rc::Rc::new(av)), Type::array1(Type::Real));
+    }
+
+    #[test]
+    fn attribution_ledger_charges_the_touched_source() {
+        let mut s = Session::new();
+        bind_lazy(&mut s, "sst", "mem:attr-test", 32);
+        s.run("reverse!sst;").unwrap();
+        let attr = s.statement_attribution();
+        assert_eq!(attr.len(), 1, "one ledger per statement");
+        let ledger = &attr[0];
+        let row = ledger
+            .sources
+            .iter()
+            .find(|(l, _)| l == "mem:attr-test")
+            .expect("the scanned source must appear in the ledger");
+        assert!(row.1.chunks_loaded > 0, "the scan loads chunks: {ledger:?}");
+        assert!(row.1.bytes_read > 0, "the scan reads bytes: {ledger:?}");
+        assert!(
+            !ledger.phases.is_empty(),
+            "per-phase wall time must be recorded: {ledger:?}"
+        );
+        // The ledger also reaches the report, and survives JSON.
+        let report = s.last_report();
+        assert_eq!(report.attribution, attr);
+        let back = QueryReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.attribution, attr);
+    }
+
+    #[test]
+    fn flight_recorder_sees_statement_lifecycle() {
+        use aql_journal::Tag;
+        let mut s = Session::new();
+        bind_lazy(&mut s, "t", "mem:journal-test", 16);
+        s.run("reverse!t;").unwrap();
+        let j = aql_journal::snapshot();
+        let begin = j
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.tag == Tag::StmtBegin && aql_journal::label_name(e.label) == "query")
+            .expect("a StmtBegin for the query");
+        assert!(begin.b != 0, "StmtBegin carries the statement hash");
+        assert!(
+            j.events.iter().any(|e| e.tag == Tag::StmtEnd
+                && aql_journal::label_name(e.label) == "ok"
+                && e.a == begin.a),
+            "a matching ok StmtEnd"
+        );
+        assert!(
+            j.events.iter().any(|e| e.tag == Tag::CacheMiss
+                && aql_journal::label_name(e.label) == "mem:journal-test"),
+            "cache misses carry the source label"
+        );
+        assert!(
+            j.events.iter().any(|e| e.tag == Tag::Phase),
+            "phase timings are journaled"
+        );
+    }
+
+    #[test]
+    fn incidents_dump_on_error_and_doctor_reads_them() {
+        let dir = std::env::temp_dir()
+            .join(format!("aql-incidents-{}-err", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Session::new();
+        s.enable_incidents(IncidentConfig::new(&dir));
+        assert!(s.run("no_such_name + 1;").is_err());
+        let path = s.last_incident_path().expect("an incident file was written");
+        let inc = aql_journal::incident::Incident::load(&path).unwrap();
+        assert_eq!(inc.kind, aql_journal::incident::IncidentKind::Error);
+        assert_eq!(inc.stmt_kind, "query");
+        assert!(inc.error.as_deref().is_some_and(|e| e.contains("no_such_name")));
+        assert!(inc.attribution.is_some(), "the ledger rides along");
+        let diagnosis = s.doctor();
+        assert!(diagnosis.contains("fault class"), "doctor output: {diagnosis}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incidents_dump_on_resource_exhaustion_and_slow_threshold() {
+        let dir = std::env::temp_dir()
+            .join(format!("aql-incidents-{}-rx", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = Session::new();
+        s.limits = Limits { max_elems: 100, ..Limits::default() };
+        s.enable_incidents(IncidentConfig {
+            dir: dir.clone(),
+            last_events: 64,
+            slow_threshold: None,
+        });
+        assert!(s.eval_query("gen!1000").is_err());
+        let inc = aql_journal::incident::Incident::load(
+            &s.last_incident_path().expect("resource incident"),
+        )
+        .unwrap();
+        assert_eq!(inc.kind, aql_journal::incident::IncidentKind::ResourceExhausted);
+
+        // A zero slow threshold dumps a slow incident even on success,
+        // and the slow log's v2 record links to it.
+        let sink = SharedSink::default();
+        s.limits = Limits::default();
+        s.enable_slow_log(
+            Box::new(sink.clone()),
+            SlowLogConfig { threshold: Duration::ZERO, sample_every: 0 },
+        );
+        s.enable_incidents(IncidentConfig {
+            dir: dir.clone(),
+            last_events: 64,
+            slow_threshold: Some(Duration::ZERO),
+        });
+        s.run("1 + 1;").unwrap();
+        let inc = aql_journal::incident::Incident::load(
+            &s.last_incident_path().expect("slow incident"),
+        )
+        .unwrap();
+        assert_eq!(inc.kind, aql_journal::incident::IncidentKind::Slow);
+        use aql_trace::json::Json;
+        let lines = sink.lines();
+        let rec = Json::parse(lines.last().unwrap()).unwrap();
+        let linked = rec.get("incident").and_then(Json::as_str).expect("v2 links the dump");
+        assert!(
+            std::path::Path::new(linked).file_name()
+                == s.last_incident_path().unwrap().file_name(),
+            "slow log links its own incident: {linked}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_log_v1_records_remain_parseable() {
+        use aql_trace::json::Json;
+        // A canned v1 line: no `incident`, no `cache.prefetched_bytes`.
+        // Consumers dispatch on schema_version and treat the v2 members
+        // as absent-means-none — the same convention stats_from_json
+        // applies to pre-v2 reports.
+        let v1 = r#"{"schema_version":1,"seq":3,"stmt_hash":"00000000deadbeef",
+            "kind":"query","slow":true,"sampled":false,"dur_ns":5,"phases":{},
+            "eval":{"steps":1,"subscripts":0,"materialized":0},
+            "cache":{"hits":2,"misses":1,"evictions":0,"bytes_read":64,"load_errors":0},
+            "rule_fires":0,"error":false}"#;
+        let rec = Json::parse(v1).expect("v1 lines stay valid JSON");
+        assert_eq!(rec.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert!(rec.get("incident").is_none(), "absent in v1 ⇒ no dump");
+        let stats = stats_from_json(&Json::Obj(vec![
+            ("steps".to_string(), Json::Num(1.0)),
+            ("subscripts".to_string(), Json::Num(0.0)),
+            ("materialized".to_string(), Json::Num(0.0)),
+            ("cache".to_string(), rec.get("cache").unwrap().clone()),
+        ]))
+        .expect("a v1 cache object parses");
+        assert_eq!(stats.cache.bytes_read, 64);
+        assert_eq!(stats.cache.prefetched_bytes, 0, "absent ⇒ zero");
     }
 
     #[test]

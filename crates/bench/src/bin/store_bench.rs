@@ -26,6 +26,12 @@
 //! unlimited, no faults firing), with a 1% budget. Cache hits bypass
 //! the whole stack, so this bounds what PR 6 costs a healthy system.
 //!
+//! `--journal-overhead` prices the always-on flight recorder: the
+//! point-probe and subslab-scan workloads with the journal globally
+//! disabled vs. enabled (the default), with a 1% budget per pattern.
+//! The recorder is lock-free per-thread rings, so an enabled journal
+//! must be indistinguishable from a disabled one at query scale.
+//!
 //! `--prefetch-overhead` prices the read-ahead prefetcher both ways:
 //! random point probes (where the stride predictor never confirms and
 //! the worker must stay idle) may cost at most 2% over a
@@ -343,6 +349,74 @@ fn resilience_overhead_check(path: &str) {
     println!("resilience overhead within the 1% budget");
 }
 
+/// `--journal-overhead`: time the point-probe and subslab-scan
+/// workloads with the flight recorder globally off vs. on (the
+/// default) and fail loudly if either recorder-on wall time exceeds
+/// recorder-off by more than 1%. This prices every always-on journal
+/// hook on the hot path — statement begin/end stamps, phase records,
+/// the per-access cache hit/miss/warm records, and the thread-local
+/// hit coalescing — and holds the recorder to its design point:
+/// effectively free while nobody is reading it.
+fn journal_overhead_check(path: &str) {
+    const TRIALS: usize = 7;
+    const ITERS: usize = 40;
+    let patterns: [(&str, &str); 2] = [
+        ("point-probe", "T[5000, 2, 2]"),
+        ("subslab-scan", "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }"),
+    ];
+
+    let make_session = || {
+        let mut s = Session::new();
+        s.register_reader("NC", Rc::new(reader_lazy_4m()));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+
+    for (pattern, query) in patterns {
+        let time_iters = |s: &mut Session| -> u128 {
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                s.eval_query(query).expect("query");
+            }
+            t0.elapsed().as_micros()
+        };
+
+        let mut s_off = make_session();
+        let mut s_on = make_session();
+        // Warm-up: chunk caches, file cache, branch predictors.
+        time_iters(&mut s_off);
+        time_iters(&mut s_on);
+
+        let mut best_off = u128::MAX;
+        let mut best_on = u128::MAX;
+        for _ in 0..TRIALS {
+            aql_journal::set_enabled(false);
+            best_off = best_off.min(time_iters(&mut s_off));
+            aql_journal::set_enabled(true);
+            best_on = best_on.min(time_iters(&mut s_on));
+        }
+        aql_journal::set_enabled(true);
+
+        let ratio = best_on as f64 / best_off as f64;
+        println!(
+            "journal overhead ({pattern}): off {best_off}µs vs on {best_on}µs \
+             (best of {TRIALS} × {ITERS} queries) — ratio {ratio:.4}"
+        );
+        // 1% relative plus a small absolute allowance so sub-millisecond
+        // jitter on a fast machine cannot flake the check.
+        assert!(
+            best_on as f64 <= best_off as f64 * 1.01 + 500.0,
+            "JOURNAL OVERHEAD BUDGET EXCEEDED on {pattern}: recorder-on runs are \
+             {:.2}% slower than recorder-off (budget: 1%)",
+            (ratio - 1.0) * 100.0
+        );
+        println!("journal overhead ({pattern}) within the 1% budget");
+    }
+}
+
 /// Per-chunk "compute" in the sequential-scan workloads — what the
 /// prefetch worker overlaps its round trips with.
 const SCAN_COMPUTE: Duration = Duration::from_millis(4);
@@ -575,6 +649,11 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--resilience-overhead") {
         resilience_overhead_check(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    if std::env::args().any(|a| a == "--journal-overhead") {
+        journal_overhead_check(&path);
         std::fs::remove_dir_all(&dir).ok();
         return;
     }

@@ -170,6 +170,7 @@ impl EvalStats {
                 misses: self.cache.misses + other.cache.misses,
                 evictions: self.cache.evictions + other.cache.evictions,
                 bytes_read: self.cache.bytes_read + other.cache.bytes_read,
+                prefetched_bytes: self.cache.prefetched_bytes + other.cache.prefetched_bytes,
                 load_errors: self.cache.load_errors + other.cache.load_errors,
             },
         }

@@ -1,0 +1,494 @@
+//! `\doctor` — incident and live-journal analysis.
+//!
+//! Turns a frozen [`Incident`] (or the live flight recorder) into a
+//! plain-language report: what failed, which source was involved, how
+//! the cache behaved, and what the retry/breaker timeline looked like
+//! in the moments before. The analyzer is pure — string in, string
+//! out — so the REPL command, the `doctor` CLI, and the end-to-end
+//! chaos test all share one implementation.
+
+use std::collections::BTreeMap;
+
+use crate::attr::Ledger;
+use crate::incident::{Incident, IncidentKind};
+use crate::{Journal, Tag};
+
+/// The failure class the analyzer pins an incident on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Transient I/O faults (retried reads, injected transients).
+    TransientIo,
+    /// Data corruption (checksum mismatches, malformed chunks).
+    Corruption,
+    /// Governor or limits budget exhausted.
+    ResourceExhausted,
+    /// A circuit breaker is open / the source is unavailable.
+    Unavailable,
+    /// The statement's deadline expired.
+    Deadline,
+    /// The statement was cancelled.
+    Cancelled,
+    /// No failure — the statement was just slow.
+    SlowQuery,
+    /// Nothing matched; the report still shows the evidence.
+    Unknown,
+}
+
+impl FaultClass {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::TransientIo => "transient-io",
+            FaultClass::Corruption => "corruption",
+            FaultClass::ResourceExhausted => "resource-exhausted",
+            FaultClass::Unavailable => "unavailable",
+            FaultClass::Deadline => "deadline",
+            FaultClass::Cancelled => "cancelled",
+            FaultClass::SlowQuery => "slow-query",
+            FaultClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// Classify a failure from the error text and the event window.
+pub fn classify(kind: Option<IncidentKind>, error: Option<&str>, events: &Journal) -> FaultClass {
+    let msg = error.unwrap_or("").to_ascii_lowercase();
+    if msg.contains("checksum") || msg.contains("corrupt") {
+        return FaultClass::Corruption;
+    }
+    if msg.contains("deadline") {
+        return FaultClass::Deadline;
+    }
+    if msg.contains("cancel") || msg.contains("interrupt") {
+        return FaultClass::Cancelled;
+    }
+    if msg.contains("budget") || msg.contains("exhausted") || msg.contains("resource") {
+        return FaultClass::ResourceExhausted;
+    }
+    // The error text outranks the event window from here on: the
+    // window is a process-wide tail and can carry a neighboring
+    // statement's breaker events, but the message is this failure's.
+    if msg.contains("transient") || msg.contains("i/o") || msg.contains("io error") {
+        return FaultClass::TransientIo;
+    }
+    let tripped = events
+        .events
+        .iter()
+        .any(|e| matches!(e.tag, Tag::BreakerTrip | Tag::BreakerFastFail));
+    if msg.contains("unavailable") || (tripped && error.is_some()) {
+        return FaultClass::Unavailable;
+    }
+    if kind == Some(IncidentKind::BreakerTrip) || tripped {
+        return FaultClass::Unavailable;
+    }
+    if events.events.iter().any(|e| e.tag == Tag::Retry) {
+        if error.is_none() && kind == Some(IncidentKind::Slow) {
+            return FaultClass::SlowQuery;
+        }
+        return FaultClass::TransientIo;
+    }
+    if kind == Some(IncidentKind::ResourceExhausted)
+        || events.events.iter().any(|e| e.tag == Tag::GovernorDeny)
+    {
+        return FaultClass::ResourceExhausted;
+    }
+    if kind == Some(IncidentKind::Slow) {
+        return FaultClass::SlowQuery;
+    }
+    FaultClass::Unknown
+}
+
+/// The source label most implicated in the failure: the label on the
+/// most recent load-error / retry / breaker event, falling back to the
+/// attribution row with the most load errors or retries.
+pub fn failing_source(events: &Journal, attribution: Option<&Ledger>) -> Option<String> {
+    let from_events = events
+        .events
+        .iter()
+        .rev()
+        .find(|e| {
+            matches!(
+                e.tag,
+                Tag::CacheLoadError | Tag::Retry | Tag::BreakerTrip | Tag::BreakerFastFail
+            ) && e.label != 0
+        })
+        .map(|e| e.label_str());
+    if from_events.is_some() {
+        return from_events;
+    }
+    attribution.and_then(|l| {
+        l.sources
+            .iter()
+            .filter(|(_, c)| c.load_errors + c.retries > 0)
+            .max_by_key(|(_, c)| c.load_errors + c.retries)
+            .map(|(label, _)| label.clone())
+    })
+}
+
+/// Per-source cache behavior aggregated from the event window (used
+/// when no attribution ledger is available, and to cross-check one).
+#[derive(Debug, Default, Clone, Copy)]
+struct CacheRow {
+    hits: u64,
+    misses: u64,
+    warm: u64,
+    bytes: u64,
+    evictions: u64,
+    load_errors: u64,
+    retries: u64,
+}
+
+fn cache_rows(events: &Journal) -> BTreeMap<String, CacheRow> {
+    let mut rows: BTreeMap<String, CacheRow> = BTreeMap::new();
+    for e in &events.events {
+        let row = || -> String {
+            let l = e.label_str();
+            if l.is_empty() { "(unlabeled)".to_string() } else { l }
+        };
+        match e.tag {
+            Tag::CacheHit => rows.entry(row()).or_default().hits += e.a,
+            Tag::CacheMiss => {
+                let r = rows.entry(row()).or_default();
+                r.misses += 1;
+                r.bytes += e.a;
+            }
+            Tag::CacheWarm => {
+                let r = rows.entry(row()).or_default();
+                r.warm += 1;
+                r.bytes += e.a;
+            }
+            Tag::CacheEvict => rows.entry(row()).or_default().evictions += e.a,
+            Tag::CacheLoadError => rows.entry(row()).or_default().load_errors += 1,
+            Tag::Retry => rows.entry(row()).or_default().retries += 1,
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn push_timeline(out: &mut String, events: &Journal) {
+    let interesting: Vec<_> = events
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.tag,
+                Tag::Retry
+                    | Tag::BreakerTrip
+                    | Tag::BreakerProbe
+                    | Tag::BreakerFastFail
+                    | Tag::GovernorShed
+                    | Tag::GovernorDeny
+                    | Tag::CacheLoadError
+                    | Tag::SlowQuery
+            )
+        })
+        .collect();
+    if interesting.is_empty() {
+        out.push_str("timeline: no retries, breaker events, or governor pressure recorded\n");
+        return;
+    }
+    out.push_str("timeline:\n");
+    let t0 = interesting.first().map(|e| e.t_us).unwrap_or(0);
+    for e in interesting {
+        let dt = e.t_us.saturating_sub(t0);
+        let label = e.label_str();
+        let what = match e.tag {
+            Tag::Retry => format!("retry attempt {} on `{label}`", e.a),
+            Tag::BreakerTrip => format!("breaker TRIPPED open for `{label}`"),
+            Tag::BreakerProbe => format!("breaker half-open probe on `{label}`"),
+            Tag::BreakerFastFail => format!("fast-fail: breaker open for `{label}`"),
+            Tag::GovernorShed => "governor shed a cached chunk".to_string(),
+            Tag::GovernorDeny => format!("governor DENIED a {} B charge", e.a),
+            Tag::CacheLoadError => format!("chunk load error on `{label}`"),
+            Tag::SlowQuery => format!("slow-query threshold crossed ({:.1} ms)", e.b as f64 / 1e6),
+            _ => continue,
+        };
+        out.push_str(&format!("  +{:>8} us  {what}\n", dt));
+    }
+}
+
+/// Analyze a loaded incident file into a human-readable report.
+pub fn diagnose(inc: &Incident) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "incident: {} (statement #{}, kind `{}`, hash {}, {:.3} ms)\n",
+        inc.kind.name(),
+        inc.seq,
+        inc.stmt_kind,
+        inc.stmt_hash,
+        inc.dur_ns as f64 / 1e6
+    ));
+    if let Some(err) = &inc.error {
+        out.push_str(&format!("error: {err}\n"));
+    }
+    out.push_str(&body(&inc.events, inc.attribution.as_ref(), Some(inc.kind), inc.error.as_deref()));
+    if !inc.metrics_delta.is_empty() {
+        out.push_str("metrics moved during the statement:\n");
+        for (series, delta) in inc.metrics_delta.iter().take(12) {
+            out.push_str(&format!("  {series}: +{delta}\n"));
+        }
+        if inc.metrics_delta.len() > 12 {
+            out.push_str(&format!("  … {} more series\n", inc.metrics_delta.len() - 12));
+        }
+    }
+    out
+}
+
+/// Analyze the live flight recorder (no incident file), with an
+/// optional attribution ledger from the last statement.
+pub fn diagnose_live(journal: &Journal, attribution: Option<&Ledger>) -> String {
+    let mut out = format!(
+        "live journal: {} events across {} thread(s)\n",
+        journal.events.len(),
+        {
+            let mut threads: Vec<u64> = journal.events.iter().map(|e| e.thread).collect();
+            threads.sort_unstable();
+            threads.dedup();
+            threads.len().max(1)
+        }
+    );
+    out.push_str(&body(journal, attribution, None, None));
+    out
+}
+
+fn body(
+    events: &Journal,
+    attribution: Option<&Ledger>,
+    kind: Option<IncidentKind>,
+    error: Option<&str>,
+) -> String {
+    let mut out = String::new();
+
+    // Dominant cost source: prefer the precise attribution ledger,
+    // fall back to byte counts reconstructed from the event window.
+    let rows = cache_rows(events);
+    let dominant: Option<(String, u64)> = attribution
+        .and_then(|l| l.dominant_source().map(|(s, c)| (s.to_string(), c.total_bytes())))
+        .or_else(|| {
+            rows.iter()
+                .filter(|(_, r)| r.bytes > 0)
+                .max_by_key(|(_, r)| r.bytes)
+                .map(|(l, r)| (l.clone(), r.bytes))
+        });
+    match &dominant {
+        Some((label, bytes)) => out.push_str(&format!(
+            "dominant cost source: `{label}` ({bytes} B moved)\n"
+        )),
+        None => out.push_str("dominant cost source: none (no chunk bytes moved)\n"),
+    }
+
+    // Cache behavior per source.
+    if let Some(ledger) = attribution {
+        if !ledger.sources.is_empty() {
+            out.push_str("cache behavior (attributed):\n");
+            for (label, c) in &ledger.sources {
+                let shown = if label.is_empty() { "(unlabeled)" } else { label };
+                let total = c.hits + c.chunks_loaded;
+                let rate = if total > 0 { c.hits as f64 / total as f64 * 100.0 } else { 0.0 };
+                out.push_str(&format!(
+                    "  {shown}: {:.0}% hit rate ({} hits / {} loads), {} B read, {} B prefetched, \
+                     {} evictions, {} load errors, {} retries\n",
+                    rate,
+                    c.hits,
+                    c.chunks_loaded,
+                    c.bytes_read,
+                    c.prefetched_bytes,
+                    c.evictions,
+                    c.load_errors,
+                    c.retries
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "governor: peak {} B in use, {} sheds, {} denials\n",
+            ledger.governor_peak_bytes, ledger.governor_sheds, ledger.governor_denials
+        ));
+    } else if !rows.is_empty() {
+        out.push_str("cache behavior (from events):\n");
+        for (label, r) in &rows {
+            let total = r.hits + r.misses + r.warm;
+            let rate = if total > 0 { r.hits as f64 / total as f64 * 100.0 } else { 0.0 };
+            out.push_str(&format!(
+                "  {label}: {:.0}% hit rate ({} hits / {} misses / {} warm), {} B, \
+                 {} evictions, {} load errors, {} retries\n",
+                rate, r.hits, r.misses, r.warm, r.bytes, r.evictions, r.load_errors, r.retries
+            ));
+        }
+    }
+
+    push_timeline(&mut out, events);
+
+    // Plain-language diagnosis.
+    let class = classify(kind, error, events);
+    let source = failing_source(events, attribution);
+    out.push_str(&format!("fault class: {}\n", class.name()));
+    let subject = source
+        .as_deref()
+        .filter(|s| !s.is_empty())
+        .map(|s| format!("source `{s}`"))
+        .unwrap_or_else(|| "the statement".to_string());
+    let advice = match class {
+        FaultClass::TransientIo => format!(
+            "diagnosis: {subject} hit transient I/O faults; retries were spent before the \
+             outcome. If this recurs, raise the retry budget or investigate the backing store."
+        ),
+        FaultClass::Corruption => format!(
+            "diagnosis: {subject} returned corrupt data (checksum mismatch). Retries cannot \
+             fix corruption — verify the file on disk (`aqf`/NetCDF) and restore from a good copy."
+        ),
+        FaultClass::ResourceExhausted => format!(
+            "diagnosis: {subject} exhausted the memory governor's budget. Raise the budget, \
+             shrink the working set, or let eviction shed colder bindings first."
+        ),
+        FaultClass::Unavailable => format!(
+            "diagnosis: {subject} is unavailable — its circuit breaker opened after repeated \
+             failures. Calls fast-fail until the cooldown elapses; check the backing store's health."
+        ),
+        FaultClass::Deadline => format!(
+            "diagnosis: {subject} exceeded its deadline. Narrow the subslab, raise the limit, \
+             or check whether cold reads (see the cost source above) dominated the wall time."
+        ),
+        FaultClass::Cancelled => {
+            "diagnosis: the statement was cancelled or interrupted before completing.".to_string()
+        }
+        FaultClass::SlowQuery => format!(
+            "diagnosis: no failure — {subject} was just slow. The dominant cost source above \
+             shows where the bytes went; consider prefetch, a larger cache budget, or a \
+             narrower subslab."
+        ),
+        FaultClass::Unknown => format!(
+            "diagnosis: no specific fault signature recognized for {subject}; inspect the \
+             timeline and metrics deltas above."
+        ),
+    };
+    out.push_str(&advice);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::SourceCounts;
+    use crate::{intern, Event};
+
+    fn ev(tag: Tag, label: u16, a: u64, b: u64, t_us: u64) -> Event {
+        Event { thread: 1, epoch: t_us, t_us, tag, label, a, b }
+    }
+
+    fn incident_with(
+        kind: IncidentKind,
+        error: Option<&str>,
+        events: Vec<Event>,
+        ledger: Option<Ledger>,
+    ) -> Incident {
+        Incident {
+            kind,
+            seq: 3,
+            stmt_hash: "deadbeefdeadbeef".to_string(),
+            stmt_kind: "query".to_string(),
+            dur_ns: 2_000_000,
+            error: error.map(str::to_string),
+            events: Journal { events },
+            attribution: ledger,
+            metrics_delta: vec![("aql_store_chunk_retries_total".to_string(), 2)],
+        }
+    }
+
+    #[test]
+    fn classifies_transient_io_with_failing_source() {
+        let l = intern("netcdf:grid");
+        let inc = incident_with(
+            IncidentKind::Error,
+            Some("storage: chunk read failed after 3 attempts: injected transient fault"),
+            vec![ev(Tag::Retry, l, 1, 0, 10), ev(Tag::Retry, l, 2, 0, 20)],
+            None,
+        );
+        let report = diagnose(&inc);
+        assert!(report.contains("fault class: transient-io"), "{report}");
+        assert!(report.contains("netcdf:grid"), "{report}");
+        assert!(report.contains("retry attempt 2"), "{report}");
+    }
+
+    #[test]
+    fn classifies_corruption_over_transient() {
+        let inc = incident_with(
+            IncidentKind::Error,
+            Some("storage: chunk checksum mismatch at chunk 4"),
+            vec![ev(Tag::Retry, intern("aqf:blob"), 1, 0, 10)],
+            None,
+        );
+        let report = diagnose(&inc);
+        assert!(report.contains("fault class: corruption"), "{report}");
+        assert!(report.contains("verify the file on disk"), "{report}");
+    }
+
+    #[test]
+    fn classifies_breaker_and_budget() {
+        let l = intern("remote:s3");
+        let trip = incident_with(
+            IncidentKind::BreakerTrip,
+            None,
+            vec![ev(Tag::BreakerTrip, l, 0, 0, 10)],
+            None,
+        );
+        assert!(diagnose(&trip).contains("fault class: unavailable"));
+        assert!(diagnose(&trip).contains("remote:s3"));
+
+        let deny = incident_with(
+            IncidentKind::Error,
+            Some("storage: budget exceeded: requested 4096 B, budget 1024 B"),
+            vec![ev(Tag::GovernorDeny, 0, 4096, 0, 10)],
+            None,
+        );
+        let report = diagnose(&deny);
+        assert!(report.contains("fault class: resource-exhausted"), "{report}");
+        assert!(report.contains("DENIED a 4096 B charge"), "{report}");
+    }
+
+    #[test]
+    fn slow_incidents_report_dominant_source_from_attribution() {
+        let mut ledger = Ledger::default();
+        ledger.sources.push((
+            "netcdf:tas".to_string(),
+            SourceCounts { hits: 5, chunks_loaded: 20, bytes_read: 1 << 20, ..Default::default() },
+        ));
+        ledger.sources.push((
+            "mem:small".to_string(),
+            SourceCounts { hits: 100, chunks_loaded: 1, bytes_read: 64, ..Default::default() },
+        ));
+        let inc = incident_with(IncidentKind::Slow, None, vec![], Some(ledger));
+        let report = diagnose(&inc);
+        assert!(report.contains("fault class: slow-query"), "{report}");
+        assert!(
+            report.contains("dominant cost source: `netcdf:tas`"),
+            "{report}"
+        );
+        assert!(report.contains("20% hit rate"), "{report}");
+    }
+
+    #[test]
+    fn live_diagnosis_reconstructs_cache_rows_from_events() {
+        let l = intern("t_doc:live");
+        let journal = Journal {
+            events: vec![
+                ev(Tag::CacheHit, l, 9, 0, 1),
+                ev(Tag::CacheMiss, l, 4096, 0, 2),
+                ev(Tag::CacheWarm, l, 8192, 0, 3),
+            ],
+        };
+        let report = diagnose_live(&journal, None);
+        assert!(report.contains("live journal: 3 events"), "{report}");
+        assert!(report.contains("t_doc:live"), "{report}");
+        assert!(report.contains("12288 B"), "{report}");
+        assert!(report.contains("dominant cost source: `t_doc:live`"), "{report}");
+    }
+
+    #[test]
+    fn empty_journal_still_produces_a_report() {
+        let report = diagnose_live(&Journal::default(), None);
+        assert!(report.contains("dominant cost source: none"), "{report}");
+        assert!(report.contains("timeline: no retries"), "{report}");
+    }
+}

@@ -1,0 +1,717 @@
+//! # aql-journal — the always-on flight recorder
+//!
+//! The third leg of the observability stack (DESIGN.md §14): where
+//! `aql-trace` describes *one profiled query* in full detail and
+//! `aql-metrics` keeps *process-lifetime aggregates*, this crate keeps
+//! a bounded record of **recent activity** — always on, near-zero
+//! cost, and readable after the fact. When a statement fails, trips a
+//! breaker, or blows its latency budget, the journal is the black box
+//! that explains what the engine was doing in the moments before.
+//!
+//! ## Design
+//!
+//! * **Per-thread ring buffers.** Each thread that records gets its
+//!   own fixed-capacity ring of slots; the write path is single-writer
+//!   and therefore lock-free — no CAS loop, no shared tail pointer.
+//!   A process-wide registry of rings lets [`snapshot`] fold every
+//!   thread's events into one [`Journal`], mirroring how
+//!   `Trace::merge` folds worker-thread traces under a parent span.
+//! * **Seqlock slots.** Every slot carries a sequence word (odd while
+//!   a write is in flight, `2 × epoch` when stable). Readers copy the
+//!   payload and re-check the sequence, so a concurrent snapshot can
+//!   never observe a torn record — it simply skips slots that moved
+//!   under it.
+//! * **Epoch-stamped, variable-length records.** Each record is a
+//!   varint-encoded `(tag, t_us, label, a, b)` tuple (3–35 bytes);
+//!   the per-thread epoch is the slot sequence, so ordering within a
+//!   thread is exact even when the wall clock ties.
+//! * **Oldest-first overflow.** The ring overwrites the oldest record
+//!   when full; every overwrite increments the per-ring drop counter
+//!   and the exported `aql_journal_dropped_total` metric.
+//! * **Interned labels.** Event labels (source labels, phase names,
+//!   statement kinds, outcome classes) come from small closed sets and
+//!   are interned once into a process-wide table; records carry a
+//!   16-bit id. The same cardinality rules as `aql-metrics` apply:
+//!   never intern query text or user-controlled strings.
+//!
+//! ## Overhead contract
+//!
+//! Recording is one relaxed flag read, a varint encode into a stack
+//! buffer, and a handful of relaxed stores into this thread's own
+//! ring — no locks, no allocation. Cache *hits* (the hottest call
+//! site) are coalesced per thread and flushed as one `CacheHit`
+//! record with a count, so the hit path pays only a `Cell` bump. The
+//! `store_bench --journal-overhead` gate asserts the end-to-end cost
+//! of recorder-on vs recorder-off stays under 1%.
+
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod doctor;
+pub mod incident;
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use aql_trace::json::Json;
+
+/// Words of payload per slot; bounds the encoded record size.
+const WORDS: usize = 5;
+/// Maximum encoded record length in bytes (tag + four varints).
+const MAX_PAYLOAD: usize = WORDS * 8;
+/// Hard cap on the interned-label table, enforcing the closed-set
+/// cardinality rule; overflowing labels collapse to id 0 (`""`).
+const MAX_LABELS: usize = 4096;
+
+/// Default per-thread ring capacity, in records.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+static M_DROPPED: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_journal_dropped_total",
+    "Journal records overwritten (oldest-first) before being read.",
+);
+
+// ---- enable switch ---------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is the recorder on? (One relaxed load; the default is on.)
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable recording. A disabled record is a single
+/// flag read; used by the `--journal-overhead` gate.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---- event vocabulary ------------------------------------------------
+
+/// What happened. Together with the generic `label`/`a`/`b` payload
+/// this is the whole event vocabulary; see each variant for how the
+/// payload fields are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Tag {
+    /// Statement started: `label` = statement kind, `a` = statement
+    /// sequence number, `b` = FNV-1a statement hash.
+    StmtBegin = 1,
+    /// Statement finished: `label` = outcome (`ok` or an error
+    /// class), `a` = statement sequence number, `b` = duration in ns.
+    StmtEnd = 2,
+    /// Pipeline phase completed: `label` = phase name, `a` = duration
+    /// in ns.
+    Phase = 3,
+    /// Coalesced cache hits: `label` = source, `a` = hit count.
+    CacheHit = 4,
+    /// Cache miss served from the source: `label` = source,
+    /// `a` = payload bytes read.
+    CacheMiss = 5,
+    /// Cache miss served from the prefetch warm pool: `label` =
+    /// source, `a` = payload bytes handed over.
+    CacheWarm = 6,
+    /// Chunks evicted: `label` = source, `a` = eviction count.
+    CacheEvict = 7,
+    /// Chunk loader returned an error: `label` = source.
+    CacheLoadError = 8,
+    /// Governor shed a cache entry to fit the process budget.
+    GovernorShed = 9,
+    /// Governor denied a charge: `a` = requested bytes.
+    GovernorDeny = 10,
+    /// Chunk read retried: `label` = source, `a` = attempt number.
+    Retry = 11,
+    /// Circuit breaker tripped open: `label` = source.
+    BreakerTrip = 12,
+    /// Half-open probe admitted: `label` = source.
+    BreakerProbe = 13,
+    /// Call rejected while the breaker was open: `label` = source.
+    BreakerFastFail = 14,
+    /// Speculative loads queued: `label` = source, `a` = count.
+    PrefetchIssued = 15,
+    /// Prefetched chunks discarded unconsumed: `label` = source,
+    /// `a` = count.
+    PrefetchWasted = 16,
+    /// Statement crossed the slow-query threshold: `a` = statement
+    /// sequence number, `b` = duration in ns.
+    SlowQuery = 17,
+    /// An incident file was written: `a` = statement sequence number.
+    Incident = 18,
+}
+
+impl Tag {
+    /// The tag's stable wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tag::StmtBegin => "stmt_begin",
+            Tag::StmtEnd => "stmt_end",
+            Tag::Phase => "phase",
+            Tag::CacheHit => "cache_hit",
+            Tag::CacheMiss => "cache_miss",
+            Tag::CacheWarm => "cache_warm",
+            Tag::CacheEvict => "cache_evict",
+            Tag::CacheLoadError => "cache_load_error",
+            Tag::GovernorShed => "governor_shed",
+            Tag::GovernorDeny => "governor_deny",
+            Tag::Retry => "retry",
+            Tag::BreakerTrip => "breaker_trip",
+            Tag::BreakerProbe => "breaker_probe",
+            Tag::BreakerFastFail => "breaker_fast_fail",
+            Tag::PrefetchIssued => "prefetch_issued",
+            Tag::PrefetchWasted => "prefetch_wasted",
+            Tag::SlowQuery => "slow_query",
+            Tag::Incident => "incident",
+        }
+    }
+
+    /// Decode a wire byte back into a tag.
+    pub fn from_u8(v: u8) -> Option<Tag> {
+        Some(match v {
+            1 => Tag::StmtBegin,
+            2 => Tag::StmtEnd,
+            3 => Tag::Phase,
+            4 => Tag::CacheHit,
+            5 => Tag::CacheMiss,
+            6 => Tag::CacheWarm,
+            7 => Tag::CacheEvict,
+            8 => Tag::CacheLoadError,
+            9 => Tag::GovernorShed,
+            10 => Tag::GovernorDeny,
+            11 => Tag::Retry,
+            12 => Tag::BreakerTrip,
+            13 => Tag::BreakerProbe,
+            14 => Tag::BreakerFastFail,
+            15 => Tag::PrefetchIssued,
+            16 => Tag::PrefetchWasted,
+            17 => Tag::SlowQuery,
+            18 => Tag::Incident,
+            _ => return None,
+        })
+    }
+
+    /// Parse a JSON name back into a tag.
+    pub fn from_name(name: &str) -> Option<Tag> {
+        (1..=18u8).filter_map(Tag::from_u8).find(|t| t.name() == name)
+    }
+}
+
+// ---- label interning -------------------------------------------------
+
+fn labels() -> MutexGuard<'static, Vec<String>> {
+    static LABELS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    LABELS
+        .get_or_init(|| Mutex::new(vec![String::new()]))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Intern `label` into the process-wide table, returning its id. Id 0
+/// is the empty label. The table is capped (4096 entries) to enforce
+/// the closed-set cardinality rule; past the cap every new label
+/// collapses to 0.
+pub fn intern(label: &str) -> u16 {
+    if label.is_empty() {
+        return 0;
+    }
+    let mut table = labels();
+    if let Some(i) = table.iter().position(|l| l == label) {
+        return i as u16;
+    }
+    if table.len() >= MAX_LABELS {
+        return 0;
+    }
+    table.push(label.to_string());
+    (table.len() - 1) as u16
+}
+
+/// Resolve an interned label id back to its string (empty for 0 or an
+/// unknown id).
+pub fn label_name(id: u16) -> String {
+    labels().get(id as usize).cloned().unwrap_or_default()
+}
+
+// ---- the per-thread ring ---------------------------------------------
+
+struct Slot {
+    /// 0 = never written; odd = write in flight; even = 2 × epoch.
+    seq: AtomicU64,
+    len: AtomicU32,
+    words: [AtomicU64; WORDS],
+}
+
+struct Ring {
+    thread: u64,
+    slots: Box<[Slot]>,
+    dropped: AtomicU64,
+}
+
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Set the per-thread ring capacity for rings created *after* this
+/// call (existing rings keep their size). Values are clamped to at
+/// least 8 records. Intended for tests and memory-tight deployments.
+pub fn set_capacity(records: usize) {
+    CAPACITY.store(records.max(8), Ordering::Relaxed);
+}
+
+fn registry() -> MutexGuard<'static, Vec<Arc<Ring>>> {
+    static REG: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Microseconds since the journal's process anchor (first use).
+pub fn now_us() -> u64 {
+    anchor().elapsed().as_micros() as u64
+}
+
+struct Writer {
+    ring: Arc<Ring>,
+    epoch: u64,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+        let cap = CAPACITY.load(Ordering::Relaxed);
+        let ring = Arc::new(Ring {
+            thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            slots: (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    len: AtomicU32::new(0),
+                    words: std::array::from_fn(|_| AtomicU64::new(0)),
+                })
+                .collect(),
+            dropped: AtomicU64::new(0),
+        });
+        registry().push(Arc::clone(&ring));
+        Writer { ring, epoch: 0 }
+    }
+
+    /// Encode and publish one record. Single-writer seqlock: mark the
+    /// slot busy (odd sequence), store the payload with relaxed
+    /// atomics, then publish the even sequence with release ordering.
+    fn push(&mut self, tag: Tag, label: u16, a: u64, b: u64) {
+        let mut buf = [0u8; MAX_PAYLOAD];
+        buf[0] = tag as u8;
+        let mut n = 1;
+        n += put_varint(&mut buf[n..], now_us());
+        n += put_varint(&mut buf[n..], label as u64);
+        n += put_varint(&mut buf[n..], a);
+        n += put_varint(&mut buf[n..], b);
+        self.epoch += 1;
+        let e = self.epoch;
+        let cap = self.ring.slots.len();
+        let slot = &self.ring.slots[(e - 1) as usize % cap];
+        if slot.seq.load(Ordering::Relaxed) != 0 {
+            // Overwriting a live record: the oldest drops.
+            self.ring.dropped.fetch_add(1, Ordering::Relaxed);
+            M_DROPPED.inc();
+        }
+        slot.seq.store(2 * e - 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.len.store(n as u32, Ordering::Relaxed);
+        for (i, w) in slot.words.iter().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+            w.store(u64::from_le_bytes(bytes), Ordering::Relaxed);
+        }
+        slot.seq.store(2 * e, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static WRITER: RefCell<Option<Writer>> = const { RefCell::new(None) };
+    /// Coalesced cache hits: `(label, count)` awaiting flush.
+    static PENDING_HITS: Cell<(u16, u64)> = const { Cell::new((0, 0)) };
+}
+
+fn emit(tag: Tag, label: u16, a: u64, b: u64) {
+    WRITER.with(|w| {
+        let mut w = w.borrow_mut();
+        w.get_or_insert_with(Writer::new).push(tag, label, a, b);
+    });
+}
+
+/// Record one event. Coalesced cache hits pending on this thread are
+/// flushed first, so event order within a thread stays faithful.
+#[inline]
+pub fn record(tag: Tag, label: u16, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    let (hl, hn) = PENDING_HITS.get();
+    if hn > 0 {
+        PENDING_HITS.set((0, 0));
+        emit(Tag::CacheHit, hl, hn, 0);
+    }
+    emit(tag, label, a, b);
+}
+
+/// Record a cache hit for `label`, coalescing consecutive hits on the
+/// same source into one record — the hit path pays a `Cell` bump, not
+/// a ring write. Flushed by the next [`record`] on this thread (every
+/// statement ends with one) or by a hit on a different source.
+#[inline]
+pub fn cache_hit(label: u16) {
+    if !enabled() {
+        return;
+    }
+    let (hl, hn) = PENDING_HITS.get();
+    if hn > 0 && hl != label {
+        PENDING_HITS.set((0, 0));
+        emit(Tag::CacheHit, hl, hn, 0);
+        PENDING_HITS.set((label, 1));
+        return;
+    }
+    PENDING_HITS.set((label, hn + 1));
+}
+
+/// Records dropped oldest-first across every ring since process start.
+pub fn dropped_total() -> u64 {
+    registry().iter().map(|r| r.dropped.load(Ordering::Relaxed)).sum()
+}
+
+// ---- snapshot and the merged journal ---------------------------------
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The recording thread's registration id (1-based).
+    pub thread: u64,
+    /// Per-thread monotonic epoch (1-based); total order within a
+    /// thread even when timestamps tie.
+    pub epoch: u64,
+    /// Microseconds since the journal anchor.
+    pub t_us: u64,
+    /// What happened.
+    pub tag: Tag,
+    /// Interned label id (see [`label_name`]); 0 = none.
+    pub label: u16,
+    /// First payload field (meaning per [`Tag`]).
+    pub a: u64,
+    /// Second payload field (meaning per [`Tag`]).
+    pub b: u64,
+}
+
+impl Event {
+    /// The event's label, resolved to its string.
+    pub fn label_str(&self) -> String {
+        label_name(self.label)
+    }
+}
+
+/// A merged, time-ordered view of recent events across threads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    /// Events sorted by `(t_us, thread, epoch)`.
+    pub events: Vec<Event>,
+}
+
+impl Journal {
+    /// Fold `other`'s events into this journal, keeping the global
+    /// time order — the journal counterpart of `Trace::merge`, so a
+    /// worker thread's record folds cleanly into its parent's view.
+    pub fn merge(&mut self, other: Journal) {
+        self.events.extend(other.events);
+        self.sort();
+    }
+
+    fn sort(&mut self) {
+        self.events.sort_by_key(|e| (e.t_us, e.thread, e.epoch));
+    }
+
+    /// The last `n` events (the incident pipeline's window).
+    pub fn tail(&self, n: usize) -> Journal {
+        let start = self.events.len().saturating_sub(n);
+        Journal { events: self.events[start..].to_vec() }
+    }
+
+    /// The journal as a JSON value: an array of event objects with
+    /// labels resolved to strings.
+    pub fn to_json_value(&self) -> Json {
+        Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        ("t_us".to_string(), Json::Num(e.t_us as f64)),
+                        ("thread".to_string(), Json::Num(e.thread as f64)),
+                        ("epoch".to_string(), Json::Num(e.epoch as f64)),
+                        ("tag".to_string(), Json::Str(e.tag.name().to_string())),
+                        ("label".to_string(), Json::Str(e.label_str())),
+                        ("a".to_string(), Json::Num(e.a as f64)),
+                        ("b".to_string(), Json::Num(e.b as f64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuild a journal from [`Journal::to_json_value`] output.
+    /// Labels are re-interned, so ids may differ from the writer's.
+    pub fn from_json_value(j: &Json) -> Result<Journal, String> {
+        let items = j.as_arr().ok_or("journal: expected an event array")?;
+        let mut events = Vec::with_capacity(items.len());
+        for it in items {
+            let tag = it
+                .get("tag")
+                .and_then(Json::as_str)
+                .and_then(Tag::from_name)
+                .ok_or("journal event: bad tag")?;
+            let label = intern(it.get("label").and_then(Json::as_str).unwrap_or(""));
+            let num = |k: &str| it.get(k).and_then(Json::as_u64).unwrap_or(0);
+            events.push(Event {
+                thread: num("thread"),
+                epoch: num("epoch"),
+                t_us: num("t_us"),
+                tag,
+                label,
+                a: num("a"),
+                b: num("b"),
+            });
+        }
+        let mut journal = Journal { events };
+        journal.sort();
+        Ok(journal)
+    }
+}
+
+/// Merge every thread's ring into one time-ordered [`Journal`].
+/// Concurrent writers are safe: slots that move under the reader fail
+/// their seqlock validation and are skipped, never torn.
+pub fn snapshot() -> Journal {
+    // Clone the ring handles out so recording threads never block on
+    // the registry lock longer than a Vec clone.
+    let rings: Vec<Arc<Ring>> = registry().iter().map(Arc::clone).collect();
+    let mut journal = Journal::default();
+    for ring in rings {
+        for slot in ring.slots.iter() {
+            // Bounded retries: a slot being rewritten faster than we
+            // can copy it holds no stable record worth waiting for.
+            for _ in 0..3 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 == 0 || s1 % 2 == 1 {
+                    break;
+                }
+                let len = slot.len.load(Ordering::Relaxed) as usize;
+                let mut buf = [0u8; MAX_PAYLOAD];
+                for (i, w) in slot.words.iter().enumerate() {
+                    buf[i * 8..i * 8 + 8]
+                        .copy_from_slice(&w.load(Ordering::Relaxed).to_le_bytes());
+                }
+                fence(Ordering::Acquire);
+                if slot.seq.load(Ordering::Relaxed) != s1 {
+                    continue; // torn: the writer lapped us, retry
+                }
+                if let Some(ev) = decode(&buf, len, ring.thread, s1 / 2) {
+                    journal.events.push(ev);
+                }
+                break;
+            }
+        }
+    }
+    journal.sort();
+    journal
+}
+
+fn decode(buf: &[u8; MAX_PAYLOAD], len: usize, thread: u64, epoch: u64) -> Option<Event> {
+    if len == 0 || len > MAX_PAYLOAD {
+        return None;
+    }
+    let tag = Tag::from_u8(buf[0])?;
+    let mut i = 1;
+    let t_us = get_varint(buf, len, &mut i)?;
+    let label = get_varint(buf, len, &mut i)?;
+    let a = get_varint(buf, len, &mut i)?;
+    let b = get_varint(buf, len, &mut i)?;
+    Some(Event { thread, epoch, t_us, tag, label: label.min(u16::MAX as u64) as u16, a, b })
+}
+
+// ---- varint coding ---------------------------------------------------
+
+/// LEB128-encode `v` into `out`, returning the bytes written.
+fn put_varint(out: &mut [u8], mut v: u64) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out[n] = byte;
+            return n + 1;
+        }
+        out[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
+/// Decode one LEB128 varint from `buf[*i..len]`, advancing `i`.
+fn get_varint(buf: &[u8], len: usize, i: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *i >= len || shift >= 64 {
+            return None;
+        }
+        let byte = buf[*i];
+        *i += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = [0u8; 10];
+            let n = put_varint(&mut buf, v);
+            let mut i = 0;
+            assert_eq!(get_varint(&buf, n, &mut i), Some(v), "{v}");
+            assert_eq!(i, n);
+        }
+    }
+
+    #[test]
+    fn tags_round_trip_through_names_and_bytes() {
+        for v in 1..=18u8 {
+            let t = Tag::from_u8(v).expect("dense tag space");
+            assert_eq!(t as u8, v);
+            assert_eq!(Tag::from_name(t.name()), Some(t));
+        }
+        assert_eq!(Tag::from_u8(0), None);
+        assert_eq!(Tag::from_u8(99), None);
+        assert_eq!(Tag::from_name("nope"), None);
+    }
+
+    #[test]
+    fn labels_intern_stably() {
+        let a = intern("t_lib:alpha");
+        let b = intern("t_lib:beta");
+        assert_ne!(a, b);
+        assert_eq!(intern("t_lib:alpha"), a);
+        assert_eq!(label_name(a), "t_lib:alpha");
+        assert_eq!(intern(""), 0);
+        assert_eq!(label_name(0), "");
+        assert_eq!(label_name(u16::MAX), "");
+    }
+
+    #[test]
+    fn recorded_events_appear_in_snapshot() {
+        let label = intern("t_lib:snap");
+        record(Tag::CacheMiss, label, 4096, 0);
+        record(Tag::StmtEnd, intern("ok"), 7, 1234);
+        let j = snapshot();
+        let mine: Vec<&Event> =
+            j.events.iter().filter(|e| e.tag == Tag::CacheMiss && e.label == label).collect();
+        assert!(!mine.is_empty(), "own event visible");
+        assert_eq!(mine[0].a, 4096);
+    }
+
+    #[test]
+    fn hits_coalesce_until_flushed() {
+        let l1 = intern("t_lib:hits1");
+        let l2 = intern("t_lib:hits2");
+        for _ in 0..5 {
+            cache_hit(l1);
+        }
+        cache_hit(l2); // different source flushes the l1 run
+        record(Tag::GovernorShed, 0, 0, 0); // flushes the l2 run
+        let j = snapshot();
+        let h1: Vec<&Event> =
+            j.events.iter().filter(|e| e.tag == Tag::CacheHit && e.label == l1).collect();
+        let h2: Vec<&Event> =
+            j.events.iter().filter(|e| e.tag == Tag::CacheHit && e.label == l2).collect();
+        assert_eq!(h1.len(), 1, "five hits, one record");
+        assert_eq!(h1[0].a, 5);
+        assert_eq!(h2.len(), 1);
+        assert_eq!(h2[0].a, 1);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let label = intern("t_lib:disabled");
+        set_enabled(false);
+        record(Tag::CacheMiss, label, 1, 0);
+        cache_hit(label);
+        set_enabled(true);
+        let j = snapshot();
+        assert!(
+            !j.events.iter().any(|e| e.label == label),
+            "no events while disabled"
+        );
+    }
+
+    #[test]
+    fn merge_keeps_time_order() {
+        let mk = |t_us, thread, epoch| Event {
+            thread,
+            epoch,
+            t_us,
+            tag: Tag::Phase,
+            label: 0,
+            a: 0,
+            b: 0,
+        };
+        let mut a = Journal { events: vec![mk(10, 1, 1), mk(30, 1, 2)] };
+        let b = Journal { events: vec![mk(20, 2, 1), mk(30, 0, 5)] };
+        a.merge(b);
+        let ts: Vec<u64> = a.events.iter().map(|e| e.t_us).collect();
+        assert_eq!(ts, vec![10, 20, 30, 30]);
+        assert_eq!(a.events[2].thread, 0, "ties break by thread then epoch");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let label = intern("t_lib:json");
+        let j = Journal {
+            events: vec![Event {
+                thread: 3,
+                epoch: 9,
+                t_us: 777,
+                tag: Tag::Retry,
+                label,
+                a: 2,
+                b: 0,
+            }],
+        };
+        let back = Journal::from_json_value(&j.to_json_value()).expect("parse");
+        assert_eq!(back.events.len(), 1);
+        let e = back.events[0];
+        assert_eq!((e.thread, e.epoch, e.t_us, e.tag, e.a), (3, 9, 777, Tag::Retry, 2));
+        assert_eq!(e.label_str(), "t_lib:json");
+    }
+
+    #[test]
+    fn tail_keeps_the_newest() {
+        let mk = |t_us| Event {
+            thread: 1,
+            epoch: t_us,
+            t_us,
+            tag: Tag::Phase,
+            label: 0,
+            a: 0,
+            b: 0,
+        };
+        let j = Journal { events: (1..=10).map(mk).collect() };
+        let t = j.tail(3);
+        assert_eq!(t.events.iter().map(|e| e.t_us).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert_eq!(j.tail(99).events.len(), 10);
+    }
+}

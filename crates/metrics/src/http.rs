@@ -1,12 +1,20 @@
 //! A dependency-free Prometheus scrape endpoint.
 //!
 //! [`serve`] binds a `std::net::TcpListener`, spawns one responder
-//! thread, and answers `GET /metrics` with
-//! [`render_prometheus`](crate::render_prometheus) output. Anything
-//! else gets a 404. One request per connection (`Connection: close`),
-//! which is exactly the Prometheus scrape model; there is no TLS, no
-//! keep-alive, no routing — operators who need those put a real proxy
-//! in front.
+//! thread, and answers three routes:
+//!
+//! * `GET /metrics` — [`render_prometheus`](crate::render_prometheus)
+//!   exposition;
+//! * `GET /healthz` — a JSON liveness probe: status, uptime, and the
+//!   flight recorder's `aql_journal_dropped_total` (read back from the
+//!   registry, so this crate stays dependency-free);
+//! * `GET /incidents` — a JSON listing of recent incident files in the
+//!   directory registered via [`set_incident_dir`], newest first.
+//!
+//! Anything else gets a 404. One request per connection
+//! (`Connection: close`), which is exactly the Prometheus scrape model;
+//! there is no TLS, no keep-alive, no routing — operators who need
+//! those put a real proxy in front.
 //!
 //! The returned [`MetricsServer`] does **not** stop the endpoint when
 //! dropped — metrics are process-lifetime, and the REPL hands the
@@ -15,9 +23,74 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The liveness anchor: first touched when a server binds (or on the
+/// first `/healthz` probe), so uptime measures "how long has this
+/// process been serving".
+static STARTED: OnceLock<Instant> = OnceLock::new();
+
+/// The incident directory `/incidents` lists, when one is registered.
+static INCIDENT_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Register (or clear, with `None`) the directory `GET /incidents`
+/// lists. `Session::enable_incidents` calls this so the endpoint and
+/// the dump pipeline stay pointed at the same place.
+pub fn set_incident_dir(dir: Option<PathBuf>) {
+    *INCIDENT_DIR.lock().unwrap_or_else(|p| p.into_inner()) = dir;
+}
+
+/// Seconds since the liveness anchor.
+fn uptime_s() -> u64 {
+    STARTED.get_or_init(Instant::now).elapsed().as_secs()
+}
+
+/// The `/healthz` body: a flat JSON object — liveness, uptime, and the
+/// flight recorder's drop counter (0 when no journal is linked in).
+fn healthz_body() -> String {
+    format!(
+        "{{\"status\":\"ok\",\"uptime_s\":{},\"journal_dropped_total\":{}}}\n",
+        uptime_s(),
+        crate::family_total("aql_journal_dropped_total"),
+    )
+}
+
+/// JSON-escape for the two path-ish strings `/incidents` emits.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The `/incidents` body: the registered directory (or null) and up to
+/// 100 `incident-*.json` file names, newest first (names embed the
+/// statement sequence number, so lexicographic descending is age
+/// descending).
+fn incidents_body() -> String {
+    let dir = INCIDENT_DIR.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    let mut names: Vec<String> = Vec::new();
+    if let Some(d) = &dir {
+        if let Ok(entries) = std::fs::read_dir(d) {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if name.starts_with("incident-") && name.ends_with(".json") {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names.sort();
+    names.reverse();
+    names.truncate(100);
+    let dir_json = match &dir {
+        Some(d) => format!("\"{}\"", json_escape(&d.display().to_string())),
+        None => "null".to_string(),
+    };
+    let items: Vec<String> =
+        names.iter().map(|n| format!("\"{}\"", json_escape(n))).collect();
+    format!("{{\"dir\":{dir_json},\"incidents\":[{}]}}\n", items.join(","))
+}
 
 /// Handle to a running exposition endpoint.
 pub struct MetricsServer {
@@ -46,6 +119,7 @@ impl MetricsServer {
 /// Bind `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) and
 /// serve `GET /metrics` from a background thread.
 pub fn serve(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+    STARTED.get_or_init(Instant::now);
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -98,11 +172,15 @@ fn respond(mut stream: TcpStream) -> std::io::Result<()> {
             "text/plain; version=0.0.4; charset=utf-8",
             crate::render_prometheus(),
         )
+    } else if method == "GET" && path == "/healthz" {
+        ("200 OK", "application/json; charset=utf-8", healthz_body())
+    } else if method == "GET" && path == "/incidents" {
+        ("200 OK", "application/json; charset=utf-8", incidents_body())
     } else {
         (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try GET /metrics\n".to_string(),
+            "not found; try GET /metrics, /healthz or /incidents\n".to_string(),
         )
     };
     let response = format!(
@@ -139,6 +217,47 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
         server.stop();
         server.stop(); // idempotent
+    }
+
+    #[test]
+    fn healthz_reports_liveness_and_drop_count() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let resp = fetch(server.addr(), "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("application/json"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"uptime_s\":"), "{body}");
+        assert!(body.contains("\"journal_dropped_total\":"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn incidents_lists_the_registered_directory() {
+        let dir = std::env::temp_dir()
+            .join(format!("aql-metrics-inc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("incident-000001-aa-error.json"), "{}").expect("write");
+        std::fs::write(dir.join("incident-000002-bb-slow.json"), "{}").expect("write");
+        std::fs::write(dir.join("not-an-incident.txt"), "x").expect("write");
+        let server = serve("127.0.0.1:0").expect("bind");
+        // No directory registered: empty listing, not an error.
+        set_incident_dir(None);
+        let empty = fetch(server.addr(), "/incidents");
+        assert!(empty.contains("\"dir\":null"), "{empty}");
+        assert!(empty.contains("\"incidents\":[]"), "{empty}");
+        // Registered: newest first, non-incident files filtered out.
+        set_incident_dir(Some(dir.clone()));
+        let resp = fetch(server.addr(), "/incidents");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        let pos2 = body.find("incident-000002-bb-slow.json").expect("newest listed");
+        let pos1 = body.find("incident-000001-aa-error.json").expect("oldest listed");
+        assert!(pos2 < pos1, "newest first: {body}");
+        assert!(!body.contains("not-an-incident"), "{body}");
+        set_incident_dir(None);
+        server.stop();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -59,7 +59,16 @@ where
     aql_trace::count("netcdf.hyperslab_requests", 1);
     M_HYPERSLABS.inc();
     aql_trace::note("var", || var.to_string());
+    // Lazily bound sources get retry events from the resilience stack;
+    // the eager path retries here, so it stamps the flight recorder
+    // itself — `\doctor`'s retry timeline covers both modes.
+    let mut attempt: u64 = 0;
     retry(|| {
+        attempt += 1;
+        if attempt > 1 && aql_journal::enabled() {
+            let label = aql_journal::intern(&format!("netcdf:{var}"));
+            aql_journal::record(aql_journal::Tag::Retry, label, attempt, 0);
+        }
         let mut reader = SlabReader::from_source(open()?)?;
         reader.read_slab(var, start, count)
     })
@@ -543,6 +552,18 @@ mod tests {
         .unwrap();
         assert_eq!(vals, NcValues::Int(vec![2, 3]));
         assert_eq!(attempts, 2);
+
+        // The retried attempt must land in the flight recorder with
+        // the variable's label, so `\doctor` can see eager-mode
+        // retries, not just the resilience stack's.
+        let snap = aql_journal::snapshot();
+        assert!(
+            snap.events.iter().any(|e| {
+                e.tag == aql_journal::Tag::Retry && e.a == 2 && e.label_str() == "netcdf:v"
+            }),
+            "eager retry missing from the journal: {:?}",
+            snap.events
+        );
     }
 
     #[test]

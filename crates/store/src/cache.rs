@@ -14,6 +14,22 @@ struct Entry {
     tick: u64,
 }
 
+/// How a miss was satisfied — who actually paid the source read.
+///
+/// Distinguishing the two closes an attribution race: a warm-pool
+/// handover's bytes were read by the prefetcher's *background* thread,
+/// possibly while a different statement was running. Counting them as
+/// the consuming statement's `bytes_read` both inflates that statement
+/// and misattributes the I/O; they are accounted separately as
+/// [`CacheStats::prefetched_bytes`] against the owning binding's
+/// source label.
+pub enum Loaded {
+    /// The loader read from the chunk source (consumer-paid I/O).
+    Source(ScalarBuf),
+    /// The loader claimed a buffer the prefetch worker already loaded.
+    Warm(ScalarBuf),
+}
+
 /// An LRU cache of chunk buffers held under a configurable byte
 /// budget.
 ///
@@ -44,6 +60,9 @@ pub struct ChunkCache {
     bytes: u64,
     stats: CacheStats,
     label: Option<Box<str>>,
+    /// The label interned for the flight recorder / attribution ledger
+    /// (0 = unlabeled).
+    jlabel: u16,
 }
 
 impl ChunkCache {
@@ -57,6 +76,7 @@ impl ChunkCache {
             bytes: 0,
             stats: CacheStats::default(),
             label: None,
+            jlabel: 0,
         }
     }
 
@@ -67,13 +87,20 @@ impl ChunkCache {
     /// unlabeled process totals.
     pub fn labeled(budget_bytes: u64, label: impl Into<String>) -> ChunkCache {
         let mut cache = ChunkCache::new(budget_bytes);
-        cache.label = Some(label.into().into_boxed_str());
+        let label = label.into();
+        cache.jlabel = aql_journal::intern(&label);
+        cache.label = Some(label.into_boxed_str());
         cache
     }
 
     /// The source label miss-path I/O is attributed to, if any.
     pub fn label(&self) -> Option<&str> {
         self.label.as_deref()
+    }
+
+    /// The interned flight-recorder id of this cache's label.
+    pub(crate) fn jlabel(&self) -> u16 {
+        self.jlabel
     }
 
     /// The configured byte budget.
@@ -96,11 +123,26 @@ impl ChunkCache {
         self.stats
     }
 
-    /// Return chunk `id`, consulting `load` on a miss.
+    /// Return chunk `id`, consulting `load` on a miss. Loader bytes
+    /// are charged as consumer-paid `bytes_read`; use
+    /// [`get_or_load_with`](ChunkCache::get_or_load_with) when the
+    /// loader can hand over prefetched buffers.
     pub fn get_or_load(
         &mut self,
         id: u64,
         load: impl FnOnce() -> Result<ScalarBuf, StoreError>,
+    ) -> Result<Rc<ScalarBuf>, StoreError> {
+        self.get_or_load_with(id, || load().map(Loaded::Source))
+    }
+
+    /// Return chunk `id`, consulting `load` on a miss; the loader says
+    /// whether the buffer came from the source or a warm pool (see
+    /// [`Loaded`]), which decides whether its bytes count as
+    /// `bytes_read` or `prefetched_bytes`.
+    pub fn get_or_load_with(
+        &mut self,
+        id: u64,
+        load: impl FnOnce() -> Result<Loaded, StoreError>,
     ) -> Result<Rc<ScalarBuf>, StoreError> {
         self.tick += 1;
         let tick = self.tick;
@@ -115,15 +157,20 @@ impl ChunkCache {
         // Miss path only: a statement blocked on I/O must notice its
         // deadline/cancellation, but a hit costs nothing extra.
         interrupt::check()?;
-        let buf = match load() {
-            Ok(buf) => Rc::new(buf),
+        let (buf, warm) = match load() {
+            Ok(Loaded::Source(buf)) => (Rc::new(buf), false),
+            Ok(Loaded::Warm(buf)) => (Rc::new(buf), true),
             Err(e) => {
                 self.bump(CacheStats { misses: 1, load_errors: 1, ..Default::default() });
                 return Err(e);
             }
         };
         let loaded = buf.byte_len();
-        self.bump(CacheStats { misses: 1, bytes_read: loaded, ..Default::default() });
+        if warm {
+            self.bump(CacheStats { misses: 1, prefetched_bytes: loaded, ..Default::default() });
+        } else {
+            self.bump(CacheStats { misses: 1, bytes_read: loaded, ..Default::default() });
+        }
         // Process-wide admission: shed own residency before denying
         // (DESIGN.md §12 degradation order). A denial fails this one
         // load; everything already cached stays valid.
@@ -182,12 +229,50 @@ impl ChunkCache {
         self.stats.misses += delta.misses;
         self.stats.evictions += delta.evictions;
         self.stats.bytes_read += delta.bytes_read;
+        self.stats.prefetched_bytes += delta.prefetched_bytes;
         self.stats.load_errors += delta.load_errors;
         stats::global_add(delta);
-        if delta.bytes_read > 0 || delta.load_errors > 0 {
+        if delta.bytes_read > 0 || delta.prefetched_bytes > 0 || delta.load_errors > 0 {
             if let Some(label) = &self.label {
-                stats::note_labeled(label, delta.bytes_read, delta.load_errors);
+                stats::note_labeled(
+                    label,
+                    delta.bytes_read,
+                    delta.prefetched_bytes,
+                    delta.load_errors,
+                );
             }
+        }
+        // Flight recorder: hits coalesce into a thread-local pending
+        // count; everything else is one ring write.
+        if aql_journal::enabled() {
+            use aql_journal::Tag;
+            if delta.hits > 0 {
+                aql_journal::cache_hit(self.jlabel);
+            }
+            if delta.bytes_read > 0 {
+                aql_journal::record(Tag::CacheMiss, self.jlabel, delta.bytes_read, 0);
+            }
+            if delta.prefetched_bytes > 0 {
+                aql_journal::record(Tag::CacheWarm, self.jlabel, delta.prefetched_bytes, 0);
+            }
+            if delta.load_errors > 0 {
+                aql_journal::record(Tag::CacheLoadError, self.jlabel, delta.load_errors, 0);
+            }
+            if delta.evictions > 0 {
+                aql_journal::record(Tag::CacheEvict, self.jlabel, delta.evictions, 0);
+            }
+        }
+        // Per-query attribution: charge the open statement ledger, per
+        // source label. One Cell read when no statement is running.
+        if aql_journal::attr::active() {
+            aql_journal::attr::note(self.jlabel, |c| {
+                c.hits += delta.hits;
+                c.chunks_loaded += delta.misses.saturating_sub(delta.load_errors);
+                c.bytes_read += delta.bytes_read;
+                c.prefetched_bytes += delta.prefetched_bytes;
+                c.evictions += delta.evictions;
+                c.load_errors += delta.load_errors;
+            });
         }
     }
 }

@@ -203,6 +203,10 @@ pub(crate) fn note_shed() {
     if aql_trace::enabled() {
         aql_trace::count("governor.sheds", 1);
     }
+    if aql_journal::enabled() {
+        aql_journal::record(aql_journal::Tag::GovernorShed, 0, 0, 0);
+    }
+    aql_journal::attr::note_shed();
 }
 
 /// Build the denial error for a charge that failed even after
@@ -212,6 +216,10 @@ pub(crate) fn deny(requested: u64) -> StoreError {
     if aql_trace::enabled() {
         aql_trace::count("governor.denials", 1);
     }
+    if aql_journal::enabled() {
+        aql_journal::record(aql_journal::Tag::GovernorDeny, 0, requested, 0);
+    }
+    aql_journal::attr::note_denial();
     StoreError::Budget { requested, budget: GLOBAL.budget.load(Ordering::Relaxed) }
 }
 

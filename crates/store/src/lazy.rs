@@ -3,7 +3,7 @@
 use std::rc::Rc;
 
 use crate::buffer::{Scalar, ScalarBuf, ScalarKind};
-use crate::cache::ChunkCache;
+use crate::cache::{ChunkCache, Loaded};
 use crate::error::StoreError;
 use crate::layout::{checked_product, ChunkLayout};
 use crate::prefetch::{PrefetchStats, Prefetcher};
@@ -97,6 +97,9 @@ impl LazyArray {
     /// reported to it, and misses consult its warm pool before going
     /// to the source. Replaces (and shuts down) any previous one.
     pub fn attach_prefetcher(&mut self, prefetcher: Prefetcher) {
+        // The worker's flight-recorder events carry the owning
+        // binding's source label, not whatever statement is running.
+        prefetcher.set_journal_label(self.cache.jlabel());
         self.prefetch = Some(prefetcher);
     }
 
@@ -226,15 +229,18 @@ fn load_chunk(
         }
         Ok(buf)
     };
-    cache.get_or_load(id, || {
+    cache.get_or_load_with(id, || {
         if let Some(pf) = prefetch {
             if let Some(buf) = pf.take(id) {
                 // Warm buffers get the same validation: the worker's
-                // source handle could misbehave independently.
-                return validate(buf);
+                // source handle could misbehave independently. They
+                // are accounted as `Warm` — the background worker
+                // already paid the source read, so the consuming
+                // statement's `bytes_read` must not count them.
+                return Ok(Loaded::Warm(validate(buf)?));
             }
         }
-        validate(source.read_chunk(&start, &count)?)
+        Ok(Loaded::Source(validate(source.read_chunk(&start, &count)?)?))
     })
 }
 
@@ -398,6 +404,51 @@ mod tests {
         assert_eq!(a.label(), Some("mem"));
         a.detach_prefetcher();
         assert_eq!(a.get(&[5]).unwrap(), Some(Scalar::F64(5.0)));
+    }
+
+    #[test]
+    fn warm_pool_bytes_are_not_counted_as_consumer_reads() {
+        // Regression: warm-pool handovers used to be charged to the
+        // consuming statement's `bytes_read`, racing the prefetcher's
+        // background thread into whatever statement was running. They
+        // must land in `prefetched_bytes` instead, attributed to the
+        // binding's own label.
+        use crate::mem::MemChunkSource;
+        use crate::prefetch::{PrefetchConfig, Prefetcher};
+
+        let n = 64u64;
+        let chunk_bytes = 4 * 8; // 4 f64 elements per chunk
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mem = MemChunkSource::new(vec![n], ScalarBuf::F64(data)).unwrap();
+        let layout = ChunkLayout::new(vec![n], vec![4]).unwrap();
+        let mut a = LazyArray::labeled(
+            layout.clone(),
+            ScalarKind::F64,
+            Box::new(mem.clone()),
+            1 << 20,
+            "mem:warm-regression",
+        );
+        a.attach_prefetcher(Prefetcher::spawn(
+            Box::new(mem),
+            layout,
+            PrefetchConfig { depth: 2, pool_bytes: 1 << 16 },
+        ));
+        for i in 0..n {
+            assert_eq!(a.get(&[i]).unwrap(), Some(Scalar::F64(i as f64)));
+            if i % 4 == 3 {
+                if let Some(pf) = &a.prefetch {
+                    pf.quiesce();
+                }
+            }
+        }
+        let warm_hits = a.prefetch_stats().unwrap().hits;
+        assert!(warm_hits > 0, "scan must consume warm buffers");
+        let s = a.stats();
+        // Every miss moved exactly one chunk; warm handovers and
+        // consumer reads split the traffic without double counting.
+        assert_eq!(s.prefetched_bytes, warm_hits * chunk_bytes);
+        assert_eq!(s.bytes_read + s.prefetched_bytes, s.misses * chunk_bytes);
+        assert_eq!(s.bytes_read, (s.misses - warm_hits) * chunk_bytes);
     }
 
     #[test]

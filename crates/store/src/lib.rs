@@ -58,7 +58,7 @@ pub mod source;
 pub mod stats;
 
 pub use buffer::{Scalar, ScalarBuf, ScalarKind};
-pub use cache::ChunkCache;
+pub use cache::{ChunkCache, Loaded};
 pub use error::{FaultClass, Interrupt, StoreError};
 pub use fault::{ChunkFaultPlan, FaultyChunkSource};
 pub use layout::{ChunkAddr, ChunkLayout};

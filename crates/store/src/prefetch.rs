@@ -40,7 +40,7 @@
 //! [`RemoteChunkSource`]: crate::RemoteChunkSource
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -117,6 +117,15 @@ struct Shared {
     issued: AtomicU64,
     hits: AtomicU64,
     wasted: AtomicU64,
+    /// Interned flight-recorder label of the owning binding's source,
+    /// so worker-thread events are attributable (0 = unlabeled).
+    jlabel: AtomicU32,
+}
+
+impl Shared {
+    fn jlabel(&self) -> u16 {
+        self.jlabel.load(Ordering::Relaxed) as u16
+    }
 }
 
 impl Shared {
@@ -127,6 +136,9 @@ impl Shared {
         governor::release(bytes);
         self.wasted.fetch_add(1, Ordering::Relaxed);
         M_WASTED.inc();
+        if aql_journal::enabled() {
+            aql_journal::record(aql_journal::Tag::PrefetchWasted, self.jlabel(), 1, 0);
+        }
     }
 }
 
@@ -209,6 +221,7 @@ impl Prefetcher {
             issued: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
+            jlabel: AtomicU32::new(0),
         });
         let num_chunks = layout.num_chunks();
         let worker = {
@@ -225,6 +238,14 @@ impl Prefetcher {
             shared.state.lock().expect("prefetch lock").worker_done = true;
         }
         Prefetcher { shared, worker, predictor: Predictor::default(), config, num_chunks }
+    }
+
+    /// Attribute this prefetcher's flight-recorder events to the
+    /// interned label of the owning binding's source (see
+    /// [`aql_journal::intern`]). Set by the cache the prefetcher is
+    /// attached to.
+    pub fn set_journal_label(&self, label: u16) {
+        self.shared.jlabel.store(label as u32, Ordering::Relaxed);
     }
 
     /// Report an access to `chunk` (hit or miss). When the predictor
@@ -254,6 +275,14 @@ impl Prefetcher {
             M_ISSUED.add(issued);
             if aql_trace::enabled() {
                 aql_trace::count("prefetch.issued", issued);
+            }
+            if aql_journal::enabled() {
+                aql_journal::record(
+                    aql_journal::Tag::PrefetchIssued,
+                    self.shared.jlabel(),
+                    issued,
+                    0,
+                );
             }
             self.shared.work.notify_one();
         }
@@ -367,6 +396,9 @@ fn worker_loop(shared: Arc<Shared>, mut source: Box<dyn ChunkSource + Send>, lay
             // give up).
             shared.wasted.fetch_add(1, Ordering::Relaxed);
             M_WASTED.inc();
+            if aql_journal::enabled() {
+                aql_journal::record(aql_journal::Tag::PrefetchWasted, shared.jlabel(), 1, 0);
+            }
             continue;
         }
         let mut state = shared.state.lock().expect("prefetch lock");

@@ -152,6 +152,7 @@ impl std::fmt::Display for BreakerState {
 pub struct CircuitBreaker {
     policy: BreakerPolicy,
     label: String,
+    jlabel: u16,
     state: BreakerState,
     consecutive: u32,
     opened_at: Option<Instant>,
@@ -163,9 +164,11 @@ pub struct CircuitBreaker {
 impl CircuitBreaker {
     /// A closed breaker for source `label` under `policy`.
     pub fn new(label: impl Into<String>, policy: BreakerPolicy) -> CircuitBreaker {
+        let label = label.into();
         CircuitBreaker {
             policy: BreakerPolicy { threshold: policy.threshold.max(1), ..policy },
-            label: label.into(),
+            jlabel: aql_journal::intern(&label),
+            label,
             state: BreakerState::Closed,
             consecutive: 0,
             opened_at: None,
@@ -210,12 +213,18 @@ impl CircuitBreaker {
                     if aql_trace::enabled() {
                         aql_trace::count_with(|| format!("breaker.probe:{}", self.label), 1);
                     }
+                    if aql_journal::enabled() {
+                        aql_journal::record(aql_journal::Tag::BreakerProbe, self.jlabel, 0, 0);
+                    }
                     Ok(())
                 } else {
                     self.fast_fails += 1;
                     M_FAST_FAILS.inc();
                     if aql_trace::enabled() {
                         aql_trace::count_with(|| format!("breaker.fast_fail:{}", self.label), 1);
+                    }
+                    if aql_journal::enabled() {
+                        aql_journal::record(aql_journal::Tag::BreakerFastFail, self.jlabel, 0, 0);
                     }
                     Err(StoreError::Unavailable {
                         source: self.label.clone(),
@@ -250,6 +259,9 @@ impl CircuitBreaker {
             M_TRIPS.inc();
             if aql_trace::enabled() {
                 aql_trace::count_with(|| format!("breaker.trip:{}", self.label), 1);
+            }
+            if aql_journal::enabled() {
+                aql_journal::record(aql_journal::Tag::BreakerTrip, self.jlabel, 0, 0);
             }
         }
     }
@@ -286,6 +298,9 @@ pub struct ResilientSource<S> {
     verify: bool,
     rng: StdRng,
     retries: u64,
+    /// Interned flight-recorder id of this source's label, so retry
+    /// events are attributable even when no breaker is configured.
+    jlabel: u16,
 }
 
 impl<S: ChunkSource> ResilientSource<S> {
@@ -302,6 +317,7 @@ impl<S: ChunkSource> ResilientSource<S> {
         ResilientSource {
             inner,
             rng: StdRng::seed_from_u64(seed),
+            jlabel: aql_journal::intern(&label),
             breaker: policy.breaker.map(|p| CircuitBreaker::new(label, p)),
             retry: RetryPolicy { attempts: policy.retry.attempts.max(1), ..policy.retry },
             verify: policy.verify_checksums,
@@ -390,6 +406,15 @@ impl<S: ChunkSource> ChunkSource for ResilientSource<S> {
                     if aql_trace::enabled() {
                         aql_trace::count("chunks.retries", 1);
                     }
+                    if aql_journal::enabled() {
+                        aql_journal::record(
+                            aql_journal::Tag::Retry,
+                            self.jlabel,
+                            attempt as u64,
+                            0,
+                        );
+                    }
+                    aql_journal::attr::note(self.jlabel, |c| c.retries += 1);
                     interrupt::sleep(self.retry.backoff(attempt, &mut self.rng))?;
                 }
             }

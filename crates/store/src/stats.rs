@@ -21,6 +21,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Payload bytes loaded from the source on misses.
     pub bytes_read: u64,
+    /// Payload bytes handed over from a prefetcher's warm pool on
+    /// misses — the background worker already paid the source read,
+    /// so these are *not* part of [`bytes_read`](CacheStats::bytes_read).
+    pub prefetched_bytes: u64,
     /// Loader invocations that returned an error (nothing cached).
     pub load_errors: u64,
 }
@@ -35,6 +39,7 @@ impl CacheStats {
             misses: self.misses.saturating_sub(base.misses),
             evictions: self.evictions.saturating_sub(base.evictions),
             bytes_read: self.bytes_read.saturating_sub(base.bytes_read),
+            prefetched_bytes: self.prefetched_bytes.saturating_sub(base.prefetched_bytes),
             load_errors: self.load_errors.saturating_sub(base.load_errors),
         }
     }
@@ -56,6 +61,7 @@ thread_local! {
         misses: 0,
         evictions: 0,
         bytes_read: 0,
+        prefetched_bytes: 0,
         load_errors: 0,
     }) };
 }
@@ -91,6 +97,10 @@ static M_LOAD_ERRORS: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
     "aql_store_cache_load_errors_total",
     "Chunk-loader invocations that returned an error.",
 );
+static M_PREFETCHED: aql_metrics::LazyCounter = aql_metrics::LazyCounter::new(
+    "aql_store_cache_prefetched_bytes_total",
+    "Payload bytes handed over from prefetch warm pools on misses.",
+);
 
 /// Fold `delta` into the thread-local aggregate, mirror it into
 /// the `aql-trace` subscriber (attached to the innermost open span)
@@ -105,6 +115,7 @@ pub(crate) fn global_add(delta: CacheStats) {
             misses: cur.misses + delta.misses,
             evictions: cur.evictions + delta.evictions,
             bytes_read: cur.bytes_read + delta.bytes_read,
+            prefetched_bytes: cur.prefetched_bytes + delta.prefetched_bytes,
             load_errors: cur.load_errors + delta.load_errors,
         });
     });
@@ -113,12 +124,14 @@ pub(crate) fn global_add(delta: CacheStats) {
         aql_trace::count("cache.misses", delta.misses);
         aql_trace::count("cache.evictions", delta.evictions);
         aql_trace::count("cache.bytes_read", delta.bytes_read);
+        aql_trace::count("cache.prefetched_bytes", delta.prefetched_bytes);
         aql_trace::count("cache.load_errors", delta.load_errors);
     }
     M_HITS.add(delta.hits);
     M_MISSES.add(delta.misses);
     M_EVICTIONS.add(delta.evictions);
     M_BYTES.add(delta.bytes_read);
+    M_PREFETCHED.add(delta.prefetched_bytes);
     M_LOAD_ERRORS.add(delta.load_errors);
 }
 
@@ -128,7 +141,7 @@ pub(crate) fn global_add(delta: CacheStats) {
 /// the unlabeled process totals live in, so multi-backend I/O is
 /// attributable in the Prometheus endpoint. Called only when a counter
 /// actually moved — the registry lookup never lands on the hit path.
-pub(crate) fn note_labeled(label: &str, bytes_read: u64, load_errors: u64) {
+pub(crate) fn note_labeled(label: &str, bytes_read: u64, prefetched_bytes: u64, load_errors: u64) {
     if !aql_metrics::enabled() {
         return;
     }
@@ -139,6 +152,14 @@ pub(crate) fn note_labeled(label: &str, bytes_read: u64, load_errors: u64) {
             "Payload bytes loaded from chunk sources on misses.",
         )
         .add(bytes_read);
+    }
+    if prefetched_bytes > 0 {
+        aql_metrics::counter_with(
+            "aql_store_cache_prefetched_bytes_total",
+            &[("source", label)],
+            "Payload bytes handed over from prefetch warm pools on misses.",
+        )
+        .add(prefetched_bytes);
     }
     if load_errors > 0 {
         aql_metrics::counter_with(

@@ -1,0 +1,114 @@
+//! `\doctor` as a command-line tool: incident analysis offline.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example doctor -- <incident-file.json>   analyze one dump
+//! cargo run --example doctor -- --dir <incident-dir>   analyze the newest dump
+//! cargo run --example doctor -- --demo                 self-contained walkthrough
+//! ```
+//!
+//! With a file or directory argument the tool loads the incident and
+//! prints the same report the REPL's `\doctor;` renders: dominant cost
+//! source, cache behavior, retry/breaker timeline, fault class, and a
+//! plain-language diagnosis.
+//!
+//! `--demo` runs a session against a fault-injected chunk source so a
+//! fresh checkout can see the whole pipeline — statement fails, an
+//! incident file appears, the doctor names the failing source — without
+//! needing a broken disk.
+
+use std::path::{Path, PathBuf};
+
+use aql::journal::{doctor, incident};
+
+fn analyze(path: &Path) -> Result<(), String> {
+    let inc = incident::Incident::load(path)?;
+    println!("incident: {}", path.display());
+    print!("{}", doctor::diagnose(&inc));
+    Ok(())
+}
+
+fn newest_in(dir: &Path) -> Result<PathBuf, String> {
+    incident::list_incidents(dir)
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("no incident files in {}", dir.display()))
+}
+
+/// Build a session over a deterministically faulty chunk source, run a
+/// scan that trips the retry path into a hard failure, and doctor the
+/// resulting incident file.
+fn demo() -> Result<(), String> {
+    use aql::core::types::Type;
+    use aql::core::value::array::ArrayVal;
+    use aql::core::value::Value;
+    use aql::lang::session::{IncidentConfig, Session};
+    use aql::store::{
+        ChunkFaultPlan, ChunkLayout, FaultyChunkSource, LazyArray, MemChunkSource,
+        ResiliencePolicy, ResilientSource, ScalarBuf, ScalarKind,
+    };
+
+    let dir = std::env::temp_dir().join(format!("aql-doctor-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+
+    let n = 64u64;
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mem = MemChunkSource::new(vec![n], ScalarBuf::F64(data)).map_err(|e| e.to_string())?;
+    // The 8th read and every retry of it fail transiently: the retry
+    // budget burns out and the statement errors.
+    let plan = ChunkFaultPlan {
+        transient_ops: (7..16).collect(),
+        ..ChunkFaultPlan::none()
+    };
+    let faulty = FaultyChunkSource::new(Box::new(mem), plan);
+    let resilient = ResilientSource::new(
+        Box::new(faulty),
+        "demo:flaky-disk",
+        ResiliencePolicy::default(),
+    );
+    let layout = ChunkLayout::new(vec![n], vec![4]).map_err(|e| e.to_string())?;
+    let lazy = LazyArray::labeled(
+        layout,
+        ScalarKind::F64,
+        Box::new(resilient),
+        1 << 20,
+        "demo:flaky-disk",
+    );
+    let av = ArrayVal::lazy(lazy).map_err(|e| format!("{e:?}"))?;
+
+    let mut s = Session::new();
+    s.bind_val_typed("sst", Value::Array(std::rc::Rc::new(av)), Type::array1(Type::Real));
+    s.enable_incidents(IncidentConfig::new(&dir));
+
+    println!("demo: scanning a 64-element array whose chunk 7 always fails...\n");
+    match s.run("reverse!sst;") {
+        Ok(_) => println!("demo: unexpectedly succeeded (no incident)"),
+        Err(e) => println!("statement failed as planned: {e}\n"),
+    }
+    let path = s
+        .last_incident_path()
+        .ok_or("the failing statement must dump an incident")?;
+    analyze(&path)?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("--demo") => demo(),
+        Some("--dir") => match args.get(1) {
+            Some(d) => newest_in(Path::new(d)).and_then(|p| analyze(&p)),
+            None => Err("usage: doctor --dir <incident-dir>".to_string()),
+        },
+        Some(file) => analyze(Path::new(file)),
+        None => Err(
+            "usage: doctor <incident-file.json> | --dir <incident-dir> | --demo".to_string(),
+        ),
+    };
+    if let Err(e) = result {
+        eprintln!("doctor: {e}");
+        std::process::exit(1);
+    }
+}

@@ -4,8 +4,9 @@
 //! ([`aql_core`]), the surface language and session ([`aql_lang`]),
 //! the optimizer ([`aql_opt`]), the IR verifier and lint pass
 //! ([`aql_verify`]), the NetCDF driver ([`aql_netcdf`]), the
-//! query-lifecycle tracer ([`aql_trace`]) and the process-lifetime
-//! metrics registry ([`aql_metrics`]).
+//! query-lifecycle tracer ([`aql_trace`]), the process-lifetime
+//! metrics registry ([`aql_metrics`]) and the always-on flight
+//! recorder with incident dumps ([`aql_journal`]).
 //!
 //! This is a from-scratch Rust reproduction of *Libkin, Machlin &
 //! Wong, "A Query Language for Multidimensional Arrays: Design,
@@ -17,6 +18,7 @@ pub mod externals;
 
 pub use aql_core as core;
 pub use aql_format as format;
+pub use aql_journal as journal;
 pub use aql_lang as lang;
 pub use aql_metrics as metrics;
 pub use aql_netcdf as netcdf;

@@ -384,6 +384,77 @@ fn injected_latency_cannot_outlive_the_deadline() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// End-to-end flight-recorder acceptance: an injected-fault chaos run
+/// must dump an incident file, and `\doctor` on that file must name
+/// the failing source label and the fault class — the full pipeline
+/// from fault injection through retry exhaustion, journal capture,
+/// incident dump, and offline analysis.
+#[test]
+fn chaos_incident_is_dumped_and_doctor_names_the_fault() {
+    use aql_lang::session::IncidentConfig;
+
+    let _g = lock();
+    let (mut s, p, dir) = netcdf_session("doctor");
+    let mut reader = NetcdfSlabReader::lazy(2);
+    // A total outage: every chunk read (and every retry of it) fails
+    // transiently, and the schedule never clears.
+    reader.chaos = Some(ChunkFaultPlan {
+        seed: 42,
+        transient_rate: 1.0,
+        ..ChunkFaultPlan::default()
+    });
+    reader.resilience = Some(ResiliencePolicy {
+        retry: RetryPolicy { attempts: 2, ..fast_retry() },
+        breaker: None,
+        verify_checksums: true,
+    });
+    bind_chaos(&mut s, &p, reader);
+
+    let inc_dir = dir.join("incidents");
+    s.enable_incidents(IncidentConfig::new(&inc_dir));
+
+    // The probe burns its retry budget and the statement dies with a
+    // classified storage error...
+    let err = s.run("T[5, 5];").unwrap_err();
+    assert!(
+        matches!(err, LangError::Eval(EvalError::Storage { .. })),
+        "expected a classified storage error, got {err}"
+    );
+
+    // ...which must leave a self-contained incident file behind.
+    let path = s.last_incident_path().expect("the failing statement must dump an incident");
+    assert!(path.exists(), "incident file missing: {}", path.display());
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    assert!(
+        name.starts_with("incident-") && name.ends_with("-error.json"),
+        "unexpected incident file name: {name}"
+    );
+    let inc = aql_journal::incident::Incident::load(&path).expect("incident parses");
+    assert_eq!(inc.kind, aql_journal::incident::IncidentKind::Error);
+    assert!(inc.error.is_some(), "error incidents carry the message");
+
+    // The doctor — same report offline as in the REPL — must name the
+    // failing source and classify the fault.
+    let report = aql_journal::doctor::diagnose(&inc);
+    assert!(
+        report.contains("netcdf:grid"),
+        "doctor must name the failing source label:\n{report}"
+    );
+    assert!(
+        report.contains("transient-io"),
+        "doctor must classify the injected fault:\n{report}"
+    );
+    assert!(report.contains("fault class"), "report shape changed:\n{report}");
+
+    // The session-side `\doctor` path reads the same dump.
+    let via_session = s.doctor();
+    assert!(via_session.contains("netcdf:grid"), "{via_session}");
+    assert!(via_session.contains("transient-io"), "{via_session}");
+
+    s.disable_incidents();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn preset_cancellation_stops_the_chunk_load() {
     let _g = lock();

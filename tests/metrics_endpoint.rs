@@ -139,10 +139,20 @@ fn repl_session_serves_prometheus_and_logs_slow_queries() {
     assert_eq!(lines.len(), 3, "threshold 0 logs all three statements: {log}");
     for l in &lines {
         let rec = Json::parse(l).expect("each slow-log line must be valid JSON");
-        assert_eq!(rec.get("schema_version").and_then(Json::as_u64), Some(1), "{l}");
+        assert_eq!(rec.get("schema_version").and_then(Json::as_u64), Some(2), "{l}");
         assert_eq!(rec.get("slow"), Some(&Json::Bool(true)), "{l}");
         assert!(rec.get("dur_ns").and_then(Json::as_u64).is_some(), "{l}");
         assert!(rec.get("phases").is_some(), "{l}");
+        // v2 members: the incident link (null here — no incident dir is
+        // configured) and the attributed prefetch traffic.
+        assert_eq!(rec.get("incident"), Some(&Json::Null), "{l}");
+        assert!(
+            rec.get("cache")
+                .and_then(|c| c.get("prefetched_bytes"))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "{l}"
+        );
     }
     // The bind is attributed to `readval`, and the aggregate's cache
     // traffic lands on the statement that caused it.

@@ -1,0 +1,156 @@
+//! Analysis-backed cost primitives: step counts from inferred loop
+//! extents and result cardinalities from inferred shapes.
+//!
+//! This replaces guessing every loop at a fixed fan-out: where the
+//! analyzer bounded an iteration count (a literal tabulation bound, a
+//! `gen`, a comprehension over a known-cardinality source) the bound
+//! is used; only genuinely unknown loops fall back to
+//! [`DEFAULT_CARDINALITY`]. Byte-level estimates (chunk layouts,
+//! element widths) live in `aql-opt`, which combines the
+//! [`AccessRegion`](crate::analyze::AccessRegion)s collected here with
+//! store metadata.
+
+use aql_core::expr::Expr;
+
+use crate::absval::AbsVal;
+use crate::analyze::Analysis;
+
+/// Assumed iteration count for loops the analysis could not bound.
+pub const DEFAULT_CARDINALITY: u64 = 16;
+
+/// The iteration count to charge for a loop node, preferring the
+/// analyzer's bound.
+fn extent(e: &Expr, a: &Analysis) -> u64 {
+    a.loop_count(e)
+        .and_then(|iv| iv.hi)
+        .unwrap_or(DEFAULT_CARDINALITY)
+}
+
+/// Estimated evaluation steps for `e`, using the loop bounds recorded
+/// in `a` (which must come from analyzing this same tree). Saturating
+/// throughout: a plan that would overflow is simply "very expensive".
+pub fn steps(e: &Expr, a: &Analysis) -> u64 {
+    let children_sum = |es: &mut dyn Iterator<Item = &Expr>| -> u64 {
+        es.fold(0u64, |acc, c| acc.saturating_add(steps(c, a)))
+    };
+    match e {
+        Expr::Var(_)
+        | Expr::Global(_)
+        | Expr::Ext(_)
+        | Expr::Empty
+        | Expr::BagEmpty
+        | Expr::Bool(_)
+        | Expr::Nat(_)
+        | Expr::Real(_)
+        | Expr::Str(_)
+        | Expr::Bottom => 1,
+        Expr::Lam(_, b)
+        | Expr::Proj(_, _, b)
+        | Expr::Single(b)
+        | Expr::BagSingle(b)
+        | Expr::Gen(b)
+        | Expr::Dim(_, b)
+        | Expr::Index(_, b)
+        | Expr::Get(b) => 1u64.saturating_add(steps(b, a)),
+        Expr::App(x, y)
+        | Expr::Let(_, x, y)
+        | Expr::Union(x, y)
+        | Expr::BagUnion(x, y)
+        | Expr::Cmp(_, x, y)
+        | Expr::Arith(_, x, y) => {
+            1u64.saturating_add(steps(x, a)).saturating_add(steps(y, a))
+        }
+        Expr::If(c, t, f) => 1u64
+            .saturating_add(steps(c, a))
+            // Either branch may run; charge the worst case.
+            .saturating_add(steps(t, a).max(steps(f, a))),
+        Expr::Tuple(items) | Expr::Prim(_, items) => {
+            1u64.saturating_add(children_sum(&mut items.iter()))
+        }
+        Expr::BigUnion { head, src, .. }
+        | Expr::BigUnionRank { head, src, .. }
+        | Expr::BigBagUnion { head, src, .. }
+        | Expr::BigBagUnionRank { head, src, .. }
+        | Expr::Sum { head, src, .. } => 1u64
+            .saturating_add(steps(src, a))
+            .saturating_add(extent(e, a).saturating_mul(steps(head, a))),
+        Expr::Tab { head, idx } => 1u64
+            .saturating_add(children_sum(&mut idx.iter().map(|(_, b)| b)))
+            .saturating_add(extent(e, a).saturating_mul(steps(head, a))),
+        Expr::Sub(arr, idx) => 1u64
+            .saturating_add(steps(arr, a))
+            .saturating_add(children_sum(&mut idx.iter())),
+        Expr::ArrayLit { dims, items } => 1u64
+            .saturating_add(children_sum(&mut dims.iter()))
+            .saturating_add(children_sum(&mut items.iter())),
+    }
+}
+
+/// Estimated number of scalar cells in a result with abstraction `av`
+/// (1 for scalars; bounded products for arrays; cardinality bounds for
+/// sets and bags; [`DEFAULT_CARDINALITY`] where unknown).
+pub fn cardinality(av: &AbsVal) -> u64 {
+    match av {
+        AbsVal::Bot
+        | AbsVal::Top
+        | AbsVal::Bool
+        | AbsVal::Str
+        | AbsVal::Real
+        | AbsVal::Fun
+        | AbsVal::Nat(_) => 1,
+        AbsVal::Arr { exts, elem } => {
+            let cells = exts.iter().fold(1u64, |acc, x| {
+                acc.saturating_mul(x.as_const().unwrap_or(DEFAULT_CARDINALITY))
+            });
+            cells.saturating_mul(cardinality(elem))
+        }
+        AbsVal::Tup(items) => items.iter().map(cardinality).fold(0, u64::saturating_add),
+        AbsVal::Set { elem, card } | AbsVal::Bag { elem, card } => card
+            .hi
+            .unwrap_or(DEFAULT_CARDINALITY)
+            .saturating_mul(cardinality(elem)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use aql_core::expr::builder::*;
+    use std::collections::BTreeMap;
+
+    fn run(e: &Expr) -> Analysis {
+        analyze(e, &BTreeMap::new())
+    }
+
+    #[test]
+    fn known_bounds_beat_the_default_guess() {
+        // A 1000-iteration loop with a literal bound must cost about
+        // 1000 head evaluations, not DEFAULT_CARDINALITY.
+        let e = tab1("i", nat(1000), add(var("i"), nat(1)));
+        let a = run(&e);
+        let s = steps(&e, &a);
+        assert!(s >= 3000, "got {s}");
+        // An unknown bound falls back to the default.
+        let e = tab1("i", var("n"), add(var("i"), nat(1)));
+        let a = run(&e);
+        assert!(steps(&e, &a) < 100);
+    }
+
+    #[test]
+    fn gen_cardinality_flows_into_comprehension_cost() {
+        let e = sum("x", gen(nat(200)), var("x"));
+        let a = run(&e);
+        assert!(steps(&e, &a) >= 200);
+    }
+
+    #[test]
+    fn result_cardinality_uses_constant_extents() {
+        let e = tab(vec![("i", nat(30)), ("j", nat(4))], var("i"));
+        let a = run(&e);
+        assert_eq!(cardinality(&a.result), 120);
+        let e = nat(7);
+        let a = run(&e);
+        assert_eq!(cardinality(&a.result), 1);
+    }
+}

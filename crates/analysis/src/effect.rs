@@ -1,0 +1,58 @@
+//! The effect/purity lattice.
+//!
+//! A four-point chain ordering how much machinery a term needs at run
+//! time. The order matters: the join of a subtree's effects is the
+//! *weakest kernel class* that could execute the whole subtree, which
+//! is exactly the precondition the vectorized-engine roadmap item
+//! needs ("which optimized subterms can compile to a bulk kernel?").
+
+/// How a term behaves operationally, ordered from most to least
+/// fusible. `join` is `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Effect {
+    /// Scalar-in/scalar-out work: variables, literals, arithmetic,
+    /// comparisons, tuples/projections, subscripts, `dim`.
+    /// Vectorizes elementwise with no intermediate allocation.
+    PureElementwise,
+    /// Folds a bulk value to a scalar (`Σ`, `min`, `max`, `member`,
+    /// `get`): fusible as the epilogue of a kernel, but introduces a
+    /// loop-carried dependency.
+    Reduction,
+    /// Allocates a bulk value (tabulation, `gen`, array literals,
+    /// set/bag construction, `index`): a kernel boundary — the result
+    /// must land somewhere.
+    Materializing,
+    /// Calls code the analyzer cannot see (registered externals, or
+    /// application of an unknown closure): never fusible.
+    External,
+}
+
+impl Effect {
+    /// Least upper bound.
+    pub fn join(self, other: Effect) -> Effect {
+        self.max(other)
+    }
+
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effect::PureElementwise => "pure-elementwise",
+            Effect::Reduction => "reduction",
+            Effect::Materializing => "materializing",
+            Effect::External => "external",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_max_and_names_are_stable() {
+        assert_eq!(Effect::PureElementwise.join(Effect::Reduction), Effect::Reduction);
+        assert_eq!(Effect::Materializing.join(Effect::Reduction), Effect::Materializing);
+        assert_eq!(Effect::External.join(Effect::PureElementwise), Effect::External);
+        assert_eq!(Effect::Reduction.name(), "reduction");
+    }
+}

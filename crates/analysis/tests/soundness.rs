@@ -1,0 +1,303 @@
+//! Soundness property test: on randomly composed array pipelines,
+//! every runtime-observed shape, value, cardinality, and
+//! materialization event must be contained in the analysis prediction.
+//!
+//! The evaluation side runs with bounds-check elision enabled (the
+//! default), so in this debug build the evaluator's
+//! `debug_assert!`-based elision tripwire is armed for the whole
+//! corpus too: an unsound elision mark anywhere in these pipelines
+//! aborts the test.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use aql_analysis::{absval_of_value, analyze, AbsVal, Effect, SubVerdict, SymExt};
+use aql_core::eval::{eval, EvalCtx};
+use aql_core::expr::builder::*;
+use aql_core::expr::{name, Expr, Name};
+use aql_core::prim::Extensions;
+use aql_core::value::{ArrayVal, Value};
+
+// ---------------------------------------------------------------------
+// Pipeline generation: rank-1 nat-array transformations.
+// ---------------------------------------------------------------------
+
+/// One transformation stage applied to the previous stage's array.
+#[derive(Debug, Clone)]
+enum Step {
+    /// `[[ X[i] + c | i < dim(X) ]]`
+    AddConst(u64),
+    /// `[[ X[i] * c | i < dim(X) ]]`
+    MulConst(u64),
+    /// `[[ X[(i + c) % dim(X)] | i < dim(X) ]]` — rotation, in-bounds.
+    ModShift(u64),
+    /// `[[ X[i + c] | i < dim(X) ]]` — the last `c` entries are `⊥`.
+    Window(u64),
+    /// `[[ X[dim(X) ∸ (i + 1)] | i < dim(X) ]]` — reversal.
+    Reverse,
+}
+
+/// How the pipeline ends.
+#[derive(Debug, Clone)]
+enum Fin {
+    /// Leave the array.
+    None,
+    /// `Σ{ X[x] | x ∈ gen(dim(X)) }`
+    Sum,
+    /// `⋃{ {X[x]} | x ∈ gen(dim(X)) }`
+    SetOf,
+}
+
+/// Bind the previous stage once and build on it, so pipelines stay
+/// linear in size.
+fn stage(x: Expr, build: impl FnOnce(Expr) -> Expr) -> Expr {
+    Expr::Let(name("p"), x.boxed(), build(var("p")).boxed())
+}
+
+fn apply(x: Expr, s: &Step) -> Expr {
+    match s {
+        Step::AddConst(c) => {
+            let c = *c;
+            stage(x, |p| {
+                tab1("i", dim(1, p.clone()), add(sub(p, vec![var("i")]), nat(c)))
+            })
+        }
+        Step::MulConst(c) => {
+            let c = *c;
+            stage(x, |p| {
+                tab1("i", dim(1, p.clone()), mul(sub(p, vec![var("i")]), nat(c)))
+            })
+        }
+        Step::ModShift(c) => {
+            let c = *c;
+            stage(x, |p| {
+                tab1(
+                    "i",
+                    dim(1, p.clone()),
+                    sub(p.clone(), vec![modulo(add(var("i"), nat(c)), dim(1, p))]),
+                )
+            })
+        }
+        Step::Window(c) => {
+            let c = *c;
+            stage(x, |p| {
+                tab1("i", dim(1, p.clone()), sub(p, vec![add(var("i"), nat(c))]))
+            })
+        }
+        Step::Reverse => stage(x, |p| {
+            tab1(
+                "i",
+                dim(1, p.clone()),
+                sub(p.clone(), vec![monus(dim(1, p), add(var("i"), nat(1)))]),
+            )
+        }),
+    }
+}
+
+fn finish(x: Expr, f: &Fin) -> Expr {
+    match f {
+        Fin::None => x,
+        Fin::Sum => stage(x, |p| {
+            sum("x", gen(dim(1, p.clone())), sub(p, vec![var("x")]))
+        }),
+        Fin::SetOf => stage(x, |p| {
+            big_union("x", gen(dim(1, p.clone())), single(sub(p, vec![var("x")])))
+        }),
+    }
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u64..5).prop_map(Step::AddConst),
+        (0u64..4).prop_map(Step::MulConst),
+        (0u64..7).prop_map(Step::ModShift),
+        (1u64..4).prop_map(Step::Window),
+        Just(Step::Reverse),
+    ]
+}
+
+fn arb_fin() -> impl Strategy<Value = Fin> {
+    prop_oneof![Just(Fin::None), Just(Fin::Sum), Just(Fin::SetOf)]
+}
+
+fn arb_source() -> impl Strategy<Value = (u64, Vec<u64>)> {
+    (0u64..7).prop_flat_map(|l| (Just(l), prop::collection::vec(0u64..50, l as usize)))
+}
+
+// ---------------------------------------------------------------------
+// Containment checking.
+// ---------------------------------------------------------------------
+
+/// Evaluate a symbolic extent against the known source dimensions;
+/// `None` when it mentions an unknown symbol (then nothing is claimed).
+fn eval_sym(s: &SymExt, dims: &HashMap<Name, Vec<u64>>) -> Option<u64> {
+    match s {
+        SymExt::Const(c) => Some(*c),
+        SymExt::Dim { source, axis } => dims.get(source).and_then(|d| d.get(*axis)).copied(),
+        SymExt::Var(_) | SymExt::Top => None,
+        SymExt::Add(a, b) => eval_sym(a, dims)?.checked_add(eval_sym(b, dims)?),
+        SymExt::Monus(a, b) => Some(eval_sym(a, dims)?.saturating_sub(eval_sym(b, dims)?)),
+        SymExt::Mul(a, b) => eval_sym(a, dims)?.checked_mul(eval_sym(b, dims)?),
+    }
+}
+
+/// Panic unless the runtime value `v` is contained in the abstraction
+/// `av`. `⊥` is contained in everything (abstractions describe the
+/// non-`⊥` outcomes).
+fn check_contains(av: &AbsVal, v: &Value, dims: &HashMap<Name, Vec<u64>>) {
+    match (av, v) {
+        (AbsVal::Top, _) | (_, Value::Bottom) => {}
+        (AbsVal::Bool, Value::Bool(_)) => {}
+        (AbsVal::Real, Value::Real(_)) => {}
+        (AbsVal::Str, Value::Str(_)) => {}
+        (AbsVal::Nat(nb), Value::Nat(n)) => {
+            assert!(nb.iv.contains(*n), "{n} outside predicted interval {:?}", nb.iv);
+            if let Some(x) = nb.sym.as_ref().and_then(|s| eval_sym(s, dims)) {
+                assert_eq!(x, *n, "exact symbolic prediction wrong");
+            }
+            if let Some(x) = nb.lt.as_ref().and_then(|s| eval_sym(s, dims)) {
+                assert!(*n < x, "{n} violates strict upper bound {x}");
+            }
+            if let Some(x) = nb.ge.as_ref().and_then(|s| eval_sym(s, dims)) {
+                assert!(*n >= x, "{n} violates lower bound {x}");
+            }
+        }
+        (AbsVal::Arr { exts, elem }, Value::Array(arr)) => {
+            assert_eq!(exts.len(), arr.dims().len(), "predicted rank wrong");
+            for (x, d) in exts.iter().zip(arr.dims()) {
+                if let Some(c) = eval_sym(x, dims) {
+                    assert_eq!(c, *d, "predicted extent {x} = {c}, runtime {d}");
+                }
+            }
+            for off in 0..arr.len() {
+                let cell = arr
+                    .try_value_at(off)
+                    .expect("materialized array read cannot fail"); // lint-wall: allow (test)
+                if let Some(val) = cell {
+                    check_contains(elem, &val, dims);
+                }
+            }
+        }
+        (AbsVal::Set { elem, card }, Value::Set(s)) => {
+            assert!(
+                card.contains(s.len() as u64),
+                "set cardinality {} outside predicted {card:?}",
+                s.len()
+            );
+            for it in s.iter() {
+                check_contains(elem, it, dims);
+            }
+        }
+        (AbsVal::Bag { card, .. }, Value::Bag(_)) => {
+            // Bags only arise with unknown element abstractions here.
+            let _ = card;
+        }
+        (AbsVal::Tup(items), Value::Tuple(vs)) => {
+            assert_eq!(items.len(), vs.len(), "predicted tuple arity wrong");
+            for (a, b) in items.iter().zip(vs.iter()) {
+                check_contains(a, b, dims);
+            }
+        }
+        (other_av, other_v) => {
+            panic!("abstraction {other_av} does not cover runtime value {other_v}")
+        }
+    }
+}
+
+fn run_both(
+    e: &Expr,
+    globals: &HashMap<Name, Value>,
+) -> (aql_analysis::Analysis, Value) {
+    let mut gabs = BTreeMap::new();
+    for (k, v) in globals {
+        gabs.insert(k.clone(), absval_of_value(v));
+    }
+    let a = analyze(e, &gabs);
+    let ext = Extensions::new();
+    let ctx = EvalCtx::new(globals, &ext);
+    let v = eval(e, &ctx).expect("pipelines are well-typed"); // lint-wall: allow (test)
+    (a, v)
+}
+
+fn source_globals(len: u64, vals: &[u64]) -> HashMap<Name, Value> {
+    let arr = ArrayVal::new(vec![len], vals.iter().map(|&v| Value::Nat(v)).collect())
+        .expect("consistent shape"); // lint-wall: allow (test)
+    let mut g = HashMap::new();
+    g.insert(name("A"), Value::Array(Rc::new(arr)));
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn analysis_contains_runtime_behavior(
+        (len, vals) in arb_source(),
+        steps in prop::collection::vec(arb_step(), 0..4),
+        fin in arb_fin(),
+    ) {
+        let globals = source_globals(len, &vals);
+        let mut e = global("A");
+        for s in &steps {
+            e = apply(e, s);
+        }
+        let e = finish(e, &fin);
+        let (a, v) = run_both(&e, &globals);
+
+        let mut dims = HashMap::new();
+        dims.insert(name("A"), vec![len]);
+        check_contains(&a.result, &v, &dims);
+
+        // A freshly allocated bulk result is a materialization event
+        // the effect domain must have predicted.
+        match &v {
+            Value::Array(rc) => {
+                let reused = matches!(&globals[&name("A")], Value::Array(g) if Rc::ptr_eq(g, rc));
+                if !reused {
+                    prop_assert!(
+                        a.effect >= Effect::Materializing,
+                        "fresh array but predicted effect {:?}", a.effect
+                    );
+                }
+            }
+            Value::Set(_) | Value::Bag(_) => {
+                prop_assert!(a.effect >= Effect::Materializing);
+            }
+            _ => {}
+        }
+
+        // Every subscript site got a verdict.
+        let c = a.sub_counts();
+        prop_assert_eq!(c.total, c.in_bounds + c.unknown + c.provably_out);
+    }
+
+    #[test]
+    fn subscript_verdicts_are_sound(
+        (len, vals) in (1u64..7).prop_flat_map(|l| {
+            (Just(l), prop::collection::vec(0u64..50, l as usize))
+        }),
+        idx in prop_oneof![
+            (0u64..10).prop_map(nat),
+            ((0u64..10), (0u64..10)).prop_map(|(a, b)| add(nat(a), nat(b))),
+            ((0u64..10), (0u64..10)).prop_map(|(a, b)| monus(nat(a), nat(b))),
+            ((0u64..6), (0u64..6)).prop_map(|(a, b)| mul(nat(a), nat(b))),
+            ((0u64..20), (1u64..7)).prop_map(|(a, b)| modulo(nat(a), nat(b))),
+        ],
+    ) {
+        let globals = source_globals(len, &vals);
+        let e = sub(global("A"), vec![idx]);
+        let (a, v) = run_both(&e, &globals);
+        match a.verdict_of(&e) {
+            Some(SubVerdict::InBounds) => {
+                prop_assert!(!v.is_bottom(), "InBounds verdict but runtime ⊥")
+            }
+            Some(SubVerdict::ProvablyOut) => {
+                prop_assert!(v.is_bottom(), "ProvablyOut verdict but runtime value {v}")
+            }
+            Some(SubVerdict::Unknown) => {}
+            None => prop_assert!(false, "no verdict recorded at the subscript site"),
+        }
+    }
+}

@@ -19,7 +19,8 @@ const HELP: &str = "\
 meta-commands:
   vals;                    list bound vals with their types
   macros;                  list registered macros
-  \\explain <query>;        show the core/optimized terms and rule fires
+  \\explain <query>;        show the core/optimized terms, cost estimates, rule fires
+  \\analyze <query>;        abstract interpretation: shape, bounds, fusibility, cost
   \\lint <query>;           run the shape/bounds lints without evaluating
   \\profile <statements>    run with tracing on and print the phase tree
   \\metrics;                print the process-lifetime metrics registry
@@ -85,6 +86,19 @@ pub fn run_repl(
             let q = q.trim_end().trim_end_matches(';');
             match session.explain(q) {
                 Ok(ex) => writeln!(output, "{}", ex.render())?,
+                Err(e) => writeln!(output, "error: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
+        // `\analyze <query>;` runs the abstract interpreter and prints
+        // the inferred (symbolic) shape, effect class, bounds
+        // verdicts, fusibility report, and cost estimate — without
+        // evaluating the query.
+        if let Some(q) = trimmed_stmt.strip_prefix("\\analyze ") {
+            let q = q.trim_end().trim_end_matches(';');
+            match session.analyze(q) {
+                Ok(report) => write!(output, "{}", report.render())?,
                 Err(e) => writeln!(output, "error: {e}")?,
             }
             pending.clear();
@@ -439,6 +453,62 @@ mod tests {
     }
 
     #[test]
+    fn backslash_analyze_reports_shape_bounds_and_fusibility() {
+        let input = "val \\a = [[ i * i | \\i < 8 ]];\n\
+                     \\analyze [[ a[i] + 1 | \\i < len!a ]];\n\
+                     \\analyze summap(fn \\x => x)!(gen!9);\n\
+                     \\analyze 1 + true;\n";
+        let text = redacted_transcript(input);
+        assert!(text.contains("typ    : [[nat]]_1"), "{text}");
+        assert!(text.contains("shape  : array[8] of"), "bound extent is concrete: {text}");
+        assert!(text.contains("1 provably in-bounds"), "{text}");
+        assert!(text.contains("map kernel (fusible)"), "{text}");
+        assert!(text.contains("cost   : cells~8"), "{text}");
+        assert!(
+            text.contains("reduction kernel (fusible)"),
+            "the summap is a fusible reduction: {text}"
+        );
+        assert!(text.contains("error: type error"), "{text}");
+        // Golden: analysis output carries no timings and is
+        // deterministic across fresh sessions, up to the process-wide
+        // gensym counter that names desugared comprehension binders.
+        fn redact_gensyms(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            let mut chars = s.chars().peekable();
+            while let Some(c) = chars.next() {
+                out.push(c);
+                if c == '%' && chars.peek().is_some_and(char::is_ascii_digit) {
+                    while chars.peek().is_some_and(char::is_ascii_digit) {
+                        chars.next();
+                    }
+                    out.push('N');
+                }
+            }
+            out
+        }
+        assert_eq!(redact_gensyms(&text), redact_gensyms(&redacted_transcript(input)));
+    }
+
+    #[test]
+    fn explain_shows_cost_estimates() {
+        // E1-style zip and the fold-to-constant query both carry a
+        // before → after cost line; folding must reduce the estimate.
+        let text = redacted_transcript("\\explain [[ i | \\i < 10 ]][3];\n");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("cost : "))
+            .unwrap_or_else(|| panic!("no cost line: {text}"));
+        assert!(line.contains("->"), "{line}");
+        let steps: Vec<u64> = line
+            .split_whitespace()
+            .filter_map(|w| w.strip_prefix("steps~"))
+            .map(|n| n.parse().unwrap())
+            .collect();
+        assert_eq!(steps.len(), 2, "{line}");
+        assert!(steps[1] < steps[0], "optimization must cut the estimate: {line}");
+    }
+
+    #[test]
     fn backslash_lint_reports_findings() {
         // A provably out-of-bounds subscript (L001), rendered with the
         // stable code, then a clean query, then an ill-typed one.
@@ -490,8 +560,8 @@ mod tests {
     fn backslash_help_lists_every_meta_command() {
         let text = redacted_transcript("\\help;\n1 + 1;\n");
         for cmd in [
-            "vals;", "macros;", "\\explain", "\\lint", "\\profile", "\\metrics", "\\store",
-            "\\attr", "\\doctor", "\\incidents", "\\save", "\\help", "quit",
+            "vals;", "macros;", "\\explain", "\\analyze", "\\lint", "\\profile", "\\metrics",
+            "\\store", "\\attr", "\\doctor", "\\incidents", "\\save", "\\help", "quit",
         ] {
             assert!(text.contains(cmd), "`{cmd}` missing from \\help: {text}");
         }

@@ -18,7 +18,7 @@
 //! routines.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -271,23 +271,39 @@ pub struct Explain {
     pub optimized: Expr,
     /// Every rule firing, in order.
     pub trace: aql_opt::Trace,
+    /// Analysis-backed cost estimates for the core and optimized
+    /// terms: the `aql-analysis` abstract interpreter supplies
+    /// cardinality and iteration counts, and the session's chunked
+    /// sources supply the layouts behind `bytes_moved`.
+    pub cost_before: aql_opt::cost::CostEstimate,
+    /// The optimized term's estimate (same model as `cost_before`).
+    pub cost_after: aql_opt::cost::CostEstimate,
 }
 
 impl Explain {
     /// A human-readable rendering (used by the REPL's `explain` and
-    /// `\explain`): the pre/post-optimization terms, the full rewrite
-    /// trace, and the `(phase, rule)` fire table.
+    /// `\explain`): the pre/post-optimization terms, the analysis-backed
+    /// cost estimates, the full rewrite trace, and the `(phase, rule)`
+    /// fire table.
     pub fn render(&self) -> String {
         format!(
-            "typ  : {}\ncore : {}\nopt  : {}\n{} rewrite step(s):\n{}rule fires:\n{}",
+            "typ  : {}\ncore : {}\nopt  : {}\ncost : {} -> {}\n{} rewrite step(s):\n{}rule fires:\n{}",
             self.ty,
             self.core,
             self.optimized,
+            render_cost(&self.cost_before),
+            render_cost(&self.cost_after),
             self.trace.len(),
             self.trace.render(),
             self.trace.render_fire_table()
         )
     }
+}
+
+/// One cost estimate as a compact `cells≈… steps≈… bytes≈…` cell of
+/// the `\explain` cost line.
+fn render_cost(c: &aql_opt::cost::CostEstimate) -> String {
+    format!("cells~{} steps~{} bytes~{}", c.cardinality, c.steps, c.bytes_moved)
 }
 
 /// A machine-readable account of the most recent [`Session::run`]:
@@ -409,10 +425,11 @@ impl QueryReport {
         }
         let t = self.total();
         out.push_str(&format!(
-            "totals: steps={} subscripts={} materialized={} | cache: hits={} \
+            "totals: steps={} subscripts={} elided={} materialized={} | cache: hits={} \
              misses={} evictions={} bytes_read={} prefetched={} load_errors={}\n",
             t.steps,
             t.subscripts,
+            t.elided,
             t.materialized,
             t.cache.hits,
             t.cache.misses,
@@ -440,6 +457,7 @@ fn stats_to_json(s: &EvalStats) -> aql_trace::json::Json {
     Json::Obj(vec![
         ("steps".to_string(), n(s.steps)),
         ("subscripts".to_string(), n(s.subscripts)),
+        ("elided".to_string(), n(s.elided)),
         ("materialized".to_string(), n(s.materialized)),
         (
             "cache".to_string(),
@@ -465,6 +483,8 @@ fn stats_from_json(j: &aql_trace::json::Json) -> Result<EvalStats, String> {
     Ok(EvalStats {
         steps: field(j, "steps")?,
         subscripts: field(j, "subscripts")?,
+        // Absent in pre-bounds-elision reports.
+        elided: j.get("elided").and_then(aql_trace::json::Json::as_u64).unwrap_or(0),
         materialized: field(j, "materialized")?,
         cache: aql_store::CacheStats {
             hits: field(cache, "hits")?,
@@ -1409,7 +1429,64 @@ impl Session {
         } else {
             self.optimizer.try_optimize_traced(&resolved).map_err(rule_panic)?
         };
-        Ok(Explain { ty, core: resolved, optimized, trace })
+        let globals = self.analysis_globals();
+        let layouts = self.source_layouts();
+        let cost_before = aql_opt::cost::estimate(&resolved, &globals, &layouts);
+        let cost_after = aql_opt::cost::estimate(&optimized, &globals, &layouts);
+        Ok(Explain { ty, core: resolved, optimized, trace, cost_before, cost_after })
+    }
+
+    /// The session's `val` bindings as abstract values, the globals
+    /// map the `aql-analysis` interpreter consumes: bound arrays
+    /// contribute their concrete extents, scalars their exact values.
+    pub fn analysis_globals(&self) -> BTreeMap<Name, aql_analysis::AbsVal> {
+        self.vals
+            .iter()
+            .map(|(n, v)| (n.clone(), aql_analysis::absval_of_value(v)))
+            .collect()
+    }
+
+    /// Chunk layouts of the session's lazily stored array bindings,
+    /// for the bytes-moved half of [`aql_opt::cost::estimate`].
+    pub fn source_layouts(&self) -> BTreeMap<Name, aql_opt::cost::SourceLayout> {
+        use aql_core::value::array::ArrayData;
+        let mut out = BTreeMap::new();
+        for (n, v) in &self.vals {
+            let Value::Array(a) = v else { continue };
+            let ArrayData::Lazy(l) = a.array_data() else { continue };
+            let l = l.borrow();
+            let layout = l.layout();
+            let elem_bytes = match l.kind() {
+                aql_store::ScalarKind::F64 | aql_store::ScalarKind::I64 => 8,
+                aql_store::ScalarKind::Bool => 1,
+            };
+            out.insert(
+                n.clone(),
+                aql_opt::cost::SourceLayout {
+                    dims: layout.dims().to_vec(),
+                    chunk_dims: layout.chunk_dims().to_vec(),
+                    elem_bytes,
+                },
+            );
+        }
+        out
+    }
+
+    /// Statically analyse a query with the abstract interpreter
+    /// without evaluating it: inferred (symbolic) shape, effect class,
+    /// per-subscript bounds verdicts, and the fusibility report
+    /// marking which loop nests could compile to bulk kernels. The
+    /// REPL's `\analyze` meta-command renders the result.
+    pub fn analyze(&self, query: &str) -> Result<AnalyzeReport, LangError> {
+        let surface = crate::parser::parse_expr(query)?;
+        let core = desugar(&surface)?;
+        let resolved = self.resolve(&core);
+        let ty = typecheck(&resolved, &self.val_types, &self.externals)?;
+        let globals = self.analysis_globals();
+        let analysis = aql_analysis::analyze(&resolved, &globals);
+        let layouts = self.source_layouts();
+        let cost = aql_opt::cost::estimate(&resolved, &globals, &layouts);
+        Ok(AnalyzeReport { ty, body: aql_analysis::report::render(&analysis), cost })
     }
 
     /// Statically analyse a query without evaluating it: run the
@@ -1431,6 +1508,32 @@ impl Session {
 impl Default for Session {
     fn default() -> Self {
         Session::new()
+    }
+}
+
+/// The result of [`Session::analyze`]: the query's type, the rendered
+/// abstract-interpretation summary, and the analysis-backed cost
+/// estimate.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// The query's type.
+    pub ty: Type,
+    /// The rendered analysis summary ([`aql_analysis::report::render`]).
+    pub body: String,
+    /// Cardinality / step / bytes-moved estimate for the (unoptimized)
+    /// core term.
+    pub cost: aql_opt::cost::CostEstimate,
+}
+
+impl AnalyzeReport {
+    /// The REPL rendering: type line, analysis summary, cost line.
+    pub fn render(&self) -> String {
+        format!(
+            "typ    : {}\n{}cost   : {}\n",
+            self.ty,
+            self.body,
+            render_cost(&self.cost)
+        )
     }
 }
 

@@ -32,6 +32,15 @@
 //! The recorder is lock-free per-thread rings, so an enabled journal
 //! must be indistinguishable from a disabled one at query scale.
 //!
+//! `--analysis-overhead` prices the interval bounds-analysis pass that
+//! runs once per statement before evaluation: the point-probe and
+//! subslab-scan workloads with the pass (and the elision fast path it
+//! enables) globally disabled vs. enabled (the default), with a 2%
+//! budget per pattern. The pass is one cheap walk over the compiled
+//! term, and every subscript it proves in range skips its runtime
+//! bounds comparisons — so at statement scale, analysis-on must never
+//! be measurably slower than analysis-off.
+//!
 //! `--prefetch-overhead` prices the read-ahead prefetcher both ways:
 //! random point probes (where the stride predictor never confirms and
 //! the worker must stay idle) may cost at most 2% over a
@@ -417,6 +426,74 @@ fn journal_overhead_check(path: &str) {
     }
 }
 
+/// `--analysis-overhead`: time the point-probe and subslab-scan
+/// workloads with the per-statement interval bounds-analysis pass
+/// globally off vs. on (the default) and fail loudly if either
+/// analysis-on wall time exceeds analysis-off by more than 2%. The
+/// toggle also disables the elision fast path the pass feeds, so this
+/// measures the full feature against a plain bounds-checked evaluator:
+/// one compiled-term walk per statement, paid back by every subscript
+/// that skips its runtime range comparisons.
+fn analysis_overhead_check(path: &str) {
+    const TRIALS: usize = 7;
+    const ITERS: usize = 40;
+    let patterns: [(&str, &str); 2] = [
+        ("point-probe", "T[5000, 2, 2]"),
+        ("subslab-scan", "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }"),
+    ];
+
+    let make_session = || {
+        let mut s = Session::new();
+        s.register_reader("NC", Rc::new(reader_lazy_4m()));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+
+    for (pattern, query) in patterns {
+        let time_iters = |s: &mut Session| -> u128 {
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                s.eval_query(query).expect("query");
+            }
+            t0.elapsed().as_micros()
+        };
+
+        let mut s_off = make_session();
+        let mut s_on = make_session();
+        // Warm-up: chunk caches, file cache, branch predictors.
+        time_iters(&mut s_off);
+        time_iters(&mut s_on);
+
+        let mut best_off = u128::MAX;
+        let mut best_on = u128::MAX;
+        for _ in 0..TRIALS {
+            aql_core::eval::bounds::set_enabled(false);
+            best_off = best_off.min(time_iters(&mut s_off));
+            aql_core::eval::bounds::set_enabled(true);
+            best_on = best_on.min(time_iters(&mut s_on));
+        }
+        aql_core::eval::bounds::set_enabled(true);
+
+        let ratio = best_on as f64 / best_off as f64;
+        println!(
+            "analysis overhead ({pattern}): off {best_off}µs vs on {best_on}µs \
+             (best of {TRIALS} × {ITERS} queries) — ratio {ratio:.4}"
+        );
+        // 2% relative plus a small absolute allowance so sub-millisecond
+        // jitter on a fast machine cannot flake the check.
+        assert!(
+            best_on as f64 <= best_off as f64 * 1.02 + 500.0,
+            "ANALYSIS OVERHEAD BUDGET EXCEEDED on {pattern}: analysis-on runs are \
+             {:.2}% slower than analysis-off (budget: 2%)",
+            (ratio - 1.0) * 100.0
+        );
+        println!("analysis overhead ({pattern}) within the 2% budget");
+    }
+}
+
 /// Per-chunk "compute" in the sequential-scan workloads — what the
 /// prefetch worker overlaps its round trips with.
 const SCAN_COMPUTE: Duration = Duration::from_millis(4);
@@ -552,6 +629,60 @@ fn prefetch_overhead_check(dir: &Path) {
     println!("prefetch speedup above the 1.3× floor");
 }
 
+/// Row pair: the subslab scan on a warm cache with bounds-check
+/// elision off vs. on (the default). Both rows time a 40-iteration
+/// batch (best of 7 trials) so the CPU-bound evaluator loop — where
+/// elision lives — dominates the wall time instead of first-touch
+/// I/O; `wall_us` is the whole batch, not one statement. The embedded
+/// profile reports differ in their `eval.elided` counter: 0 with the
+/// pass off, one per proven subscript with it on.
+fn measure_elision_pair(path: &str) -> Vec<Row> {
+    const TRIALS: usize = 7;
+    const ITERS: usize = 40;
+    let query = "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }";
+
+    let make_session = || {
+        let mut s = Session::new();
+        s.register_reader("NC", Rc::new(reader_lazy_4m()));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+    let time_iters = |s: &mut Session| -> u128 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            s.eval_query(query).expect("query");
+        }
+        t0.elapsed().as_micros()
+    };
+
+    let mut rows = Vec::new();
+    for (config, enabled) in [("elision-off", false), ("elision-on", true)] {
+        aql_core::eval::bounds::set_enabled(enabled);
+        let before = aql_store::stats::global();
+        let mut s = make_session();
+        time_iters(&mut s); // Warm-up: afterwards the cache holds the window.
+        let mut best = u128::MAX;
+        for _ in 0..TRIALS {
+            best = best.min(time_iters(&mut s));
+        }
+        let delta = aql_store::stats::global().delta_since(&before);
+        let (_, report) = s.profile(&format!("{query};")).expect("profiled query");
+        rows.push(Row {
+            config,
+            pattern: "subslab-scan",
+            micros: best,
+            bytes_read: delta.bytes_read,
+            hit_rate: delta.hit_rate(),
+            report: report.to_json(),
+        });
+    }
+    aql_core::eval::bounds::set_enabled(true);
+    rows
+}
+
 /// Row: stream the lazily bound NetCDF variable into an AQF file
 /// through the registered `AQF` writer (`writeval`, chunk by chunk —
 /// never materialized).
@@ -657,6 +788,11 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
         return;
     }
+    if std::env::args().any(|a| a == "--analysis-overhead") {
+        analysis_overhead_check(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
     if std::env::args().any(|a| a == "--prefetch-overhead") {
         prefetch_overhead_check(&dir);
         std::fs::remove_dir_all(&dir).ok();
@@ -697,6 +833,11 @@ fn main() {
     rows.push(measure_aqf_save(&path, &aqf_path));
     rows.push(measure_aqf_probe(&aqf_path));
     rows.push(measure_prefetch_scan(&aqf_path));
+
+    // Bounds-check elision rows: the warm-cache subslab scan with the
+    // interval pass off vs. on, so the artifact records what the
+    // elided fast path is worth on a CPU-bound evaluator loop.
+    rows.extend(measure_elision_pair(&path));
 
     println!("store bench — full variable is {FULL_BYTES} bytes\n");
     println!("{:<14} {:<14} {:>10} {:>12} {:>9}", "config", "pattern", "wall µs", "bytes read", "hit rate");

@@ -74,8 +74,12 @@ pub enum CExpr {
     /// Tabulation: `head` has `bounds.len()` extra binders; the *last*
     /// index variable is de-Bruijn 0.
     Tab { head: Rc<CExpr>, bounds: Vec<CExpr> },
-    /// Subscript.
-    Sub(Rc<CExpr>, Vec<CExpr>),
+    /// Subscript. The [`Cell`](std::cell::Cell) is the bounds-check
+    /// elision slot: `false` out of `compile`, flipped to `true` by
+    /// [`crate::eval::bounds::annotate`] when the interval pass proves
+    /// every index in range (the evaluator then skips the per-axis
+    /// compares and keeps only a debug assertion).
+    Sub(Rc<CExpr>, Vec<CExpr>, std::cell::Cell<bool>),
     /// `dim_k`
     Dim(usize, Rc<CExpr>),
     /// Row-major array literal.
@@ -242,6 +246,7 @@ fn go(e: &Expr, scope: &mut Vec<Name>) -> Result<CExpr, EvalError> {
         Expr::Sub(arr, idx) => CExpr::Sub(
             rc(go(arr, scope)?),
             idx.iter().map(|i| go(i, scope)).collect::<Result<_, _>>()?,
+            std::cell::Cell::new(false),
         ),
         Expr::Dim(k, e) => CExpr::Dim(*k, rc(go(e, scope)?)),
         Expr::ArrayLit { dims, items } => CExpr::ArrayLit {

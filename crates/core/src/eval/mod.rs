@@ -17,6 +17,7 @@
 //! Resource limits ([`Limits`]) bound materialisation (`gen`,
 //! tabulation, `index`) and total evaluation steps.
 
+pub mod bounds;
 mod compile;
 
 pub use compile::{compile, CExpr};
@@ -149,6 +150,9 @@ pub struct EvalStats {
     pub steps: u64,
     /// Array subscript operations performed.
     pub subscripts: u64,
+    /// Subscript operations that took the bounds-check-elided fast
+    /// path (the [`bounds`] interval pass proved them in range).
+    pub elided: u64,
     /// Elements admitted for materialization by `gen`, tabulation,
     /// array literals, and `index` (the sites governed by
     /// `Limits::max_elems`).
@@ -164,6 +168,7 @@ impl EvalStats {
         EvalStats {
             steps: self.steps + other.steps,
             subscripts: self.subscripts + other.subscripts,
+            elided: self.elided + other.elided,
             materialized: self.materialized + other.materialized,
             cache: aql_store::CacheStats {
                 hits: self.cache.hits + other.cache.hits,
@@ -190,6 +195,7 @@ pub struct EvalCtx<'a> {
     deadline: Option<std::time::Instant>,
     steps: Cell<u64>,
     subscripts: Cell<u64>,
+    elided: Cell<u64>,
     materialized: Cell<u64>,
     /// Snapshot of the global chunk-cache counters at construction;
     /// [`EvalCtx::stats`] reports the delta since.
@@ -206,6 +212,7 @@ impl<'a> EvalCtx<'a> {
             deadline: None,
             steps: Cell::new(0),
             subscripts: Cell::new(0),
+            elided: Cell::new(0),
             materialized: Cell::new(0),
             cache_base: aql_store::stats::global(),
         }
@@ -230,6 +237,7 @@ impl<'a> EvalCtx<'a> {
         EvalStats {
             steps: self.steps.get(),
             subscripts: self.subscripts.get(),
+            elided: self.elided.get(),
             materialized: self.materialized.get(),
             cache: aql_store::stats::global().delta_since(&self.cache_base),
         }
@@ -289,6 +297,16 @@ impl<'a> EvalCtx<'a> {
 /// `aql-store`).
 pub fn eval(e: &Expr, ctx: &EvalCtx) -> Result<Value, EvalError> {
     let c = compile(e)?;
+    // Interval pass over the compiled form: flips the elision slot of
+    // every subscript it can prove in range (dims of bound globals are
+    // visible here). One cheap walk per statement, togglable for the
+    // `--analysis-overhead` and elision-off benchmarks.
+    if bounds::enabled() {
+        let marks = bounds::annotate(&c, ctx.globals);
+        if aql_trace::enabled() {
+            aql_trace::count("eval.bounds_elided_sites", marks.elided as u64);
+        }
+    }
     // Make the statement's deadline/cancellation visible to the
     // storage layer for the duration of the evaluation: chunk-load
     // waits (retry backoff, slow sources) poll these hooks, so a hung
@@ -300,6 +318,7 @@ pub fn eval(e: &Expr, ctx: &EvalCtx) -> Result<Value, EvalError> {
         let s = ctx.stats();
         aql_trace::count("eval.steps", s.steps);
         aql_trace::count("eval.subscripts", s.subscripts);
+        aql_trace::count("eval.elided", s.elided);
         aql_trace::count("eval.materialized", s.materialized);
     }
     out
@@ -573,10 +592,40 @@ pub fn eval_compiled(c: &CExpr, env: &Env, ctx: &EvalCtx) -> Result<Value, EvalE
             })?;
             Ok(Value::Array(Rc::new(arr)))
         }
-        CExpr::Sub(arr, idx) => {
+        CExpr::Sub(arr, idx, elide) => {
             ctx.subscripts.set(ctx.subscripts.get() + 1);
             let va = strict!(eval_compiled(arr, env, ctx)?);
             let a = va.as_array()?;
+            if elide.get() {
+                // Bounds-check-elided fast path: the interval pass
+                // proved rank agreement and every index in range, so
+                // the row-major offset is folded directly — no
+                // per-axis compares and no index vector allocation.
+                // The debug assertion is the soundness tripwire: it
+                // fires (across the whole debug test corpus) if an
+                // elided check would have failed at run time.
+                ctx.elided.set(ctx.elided.get() + 1);
+                let mut off: u64 = 0;
+                #[cfg(debug_assertions)]
+                let mut iv: Vec<u64> = Vec::with_capacity(idx.len());
+                for (j, i) in idx.iter().enumerate() {
+                    let v = strict!(eval_compiled(i, env, ctx)?);
+                    let n = v.as_nat()?;
+                    #[cfg(debug_assertions)]
+                    iv.push(n);
+                    // `get` instead of indexing so an unsound mark can
+                    // never abort a release build; the assertion below
+                    // is the debug-mode witness that it was sound.
+                    off = off * a.dims().get(j).copied().unwrap_or(1) + n;
+                }
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    a.offset(&iv) == Some(off as usize),
+                    "elided bounds check would have failed: index {iv:?} into dims {:?}",
+                    a.dims()
+                );
+                return Ok(a.try_value_at(off as usize)?.unwrap_or(Value::Bottom));
+            }
             let indices: Vec<u64> = if idx.len() == 1 {
                 let v = strict!(eval_compiled(&idx[0], env, ctx)?);
                 v.as_index()?

@@ -30,6 +30,10 @@ pub enum FaultClass {
     Cancelled,
     /// No failure — the statement was just slow.
     SlowQuery,
+    /// Nothing to diagnose: no incident, no error, and no fault
+    /// signatures (retries, breaker events, governor pressure, load
+    /// errors) in the window. A clean session's `\doctor;` lands here.
+    Healthy,
     /// Nothing matched; the report still shows the evidence.
     Unknown,
 }
@@ -45,6 +49,7 @@ impl FaultClass {
             FaultClass::Deadline => "deadline",
             FaultClass::Cancelled => "cancelled",
             FaultClass::SlowQuery => "slow-query",
+            FaultClass::Healthy => "healthy",
             FaultClass::Unknown => "unknown",
         }
     }
@@ -94,6 +99,27 @@ pub fn classify(kind: Option<IncidentKind>, error: Option<&str>, events: &Journa
     }
     if kind == Some(IncidentKind::Slow) {
         return FaultClass::SlowQuery;
+    }
+    // A live-journal diagnosis (no incident, no error) whose window
+    // carries no fault signature at all is a healthy session, not an
+    // unrecognized fault.
+    if kind.is_none()
+        && error.is_none()
+        && !events.events.iter().any(|e| {
+            matches!(
+                e.tag,
+                Tag::Retry
+                    | Tag::BreakerTrip
+                    | Tag::BreakerProbe
+                    | Tag::BreakerFastFail
+                    | Tag::GovernorShed
+                    | Tag::GovernorDeny
+                    | Tag::CacheLoadError
+                    | Tag::SlowQuery
+            )
+        })
+    {
+        return FaultClass::Healthy;
     }
     FaultClass::Unknown
 }
@@ -357,6 +383,11 @@ fn body(
              shows where the bytes went; consider prefetch, a larger cache budget, or a \
              narrower subslab."
         ),
+        FaultClass::Healthy => {
+            "diagnosis: nothing wrong — no errors, retries, breaker events, or governor \
+             pressure recorded. The session is healthy; there is nothing to diagnose."
+                .to_string()
+        }
         FaultClass::Unknown => format!(
             "diagnosis: no specific fault signature recognized for {subject}; inspect the \
              timeline and metrics deltas above."
@@ -490,5 +521,32 @@ mod tests {
         let report = diagnose_live(&Journal::default(), None);
         assert!(report.contains("dominant cost source: none"), "{report}");
         assert!(report.contains("timeline: no retries"), "{report}");
+    }
+
+    #[test]
+    fn clean_session_is_diagnosed_healthy() {
+        // A live window with only healthy traffic — cache hits and
+        // warm loads, no retries/breakers/errors — must say "nothing
+        // wrong", not "unrecognized fault".
+        let l = intern("nc:clean");
+        let journal = Journal {
+            events: vec![
+                ev(Tag::CacheHit, l, 40, 0, 1),
+                ev(Tag::CacheWarm, l, 4096, 0, 2),
+                ev(Tag::CacheHit, l, 12, 0, 3),
+            ],
+        };
+        let report = diagnose_live(&journal, None);
+        assert!(report.contains("fault class: healthy"), "{report}");
+        assert!(report.contains("nothing wrong"), "{report}");
+        assert!(report.contains("nothing to diagnose"), "{report}");
+        // The empty journal is healthy too.
+        let empty = diagnose_live(&Journal::default(), None);
+        assert!(empty.contains("fault class: healthy"), "{empty}");
+
+        // One retry in the window and the session is no longer clean.
+        let journal = Journal { events: vec![ev(Tag::Retry, l, 1, 0, 1)] };
+        let report = diagnose_live(&journal, None);
+        assert!(!report.contains("fault class: healthy"), "{report}");
     }
 }

@@ -17,7 +17,7 @@ use crate::diag::{Diagnostic, Severity};
 pub fn verify_compiled(c: &CExpr, depth: usize) -> Vec<Diagnostic> {
     let mut w = Walker { diags: Vec::new(), path: Vec::new() };
     w.walk(c, depth);
-    w.diags
+    crate::diag::normalize(w.diags)
 }
 
 struct Walker {
@@ -125,7 +125,7 @@ impl Walker {
                 }
                 self.child("tab.head", head, depth + bounds.len());
             }
-            CExpr::Sub(arr, idx) => {
+            CExpr::Sub(arr, idx, _elide) => {
                 if idx.is_empty() {
                     self.report("V004", "subscript with no indices".into());
                 }

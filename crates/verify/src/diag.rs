@@ -20,6 +20,8 @@
 //! | L001 | warning  | provable out-of-bounds subscript (guaranteed ⊥) |
 //! | L002 | warning  | zero-extent dimension |
 //! | L003 | warning  | dead conditional branch |
+//! | L004 | warning  | subscript provably out of bounds by symbolic extent analysis |
+//! | L005 | warning  | comprehension over a provably empty source |
 //!
 //! Codes are append-only: golden tests and CI greps depend on them.
 
@@ -90,6 +92,28 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Canonicalize a diagnostic list for presentation: exact duplicates
+/// are collapsed (first occurrence wins) and errors surface before
+/// warnings, with each class keeping the traversal order — which *is*
+/// source order, since the walkers visit subterms left to right. Both
+/// the verifier entry points and [`crate::lint::lint_expr`] pass their
+/// output through this, so `\lint` renderings are byte-stable across
+/// runs.
+pub fn normalize(ds: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<Diagnostic> = Vec::with_capacity(ds.len());
+    for d in ds {
+        if seen.insert((d.code, d.severity == Severity::Error, d.path.clone(), d.message.clone()))
+        {
+            out.push(d);
+        }
+    }
+    // Stable sort: only the error/warning rank moves, source order is
+    // preserved inside each class.
+    out.sort_by_key(|d| !d.is_error());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +131,16 @@ mod tests {
         let root = Diagnostic::new("L002", Severity::Warning, &[], "zero-extent dimension");
         assert_eq!(root.render(), "L002 warning: zero-extent dimension");
         assert!(!root.is_error());
+    }
+
+    #[test]
+    fn normalize_dedups_and_orders() {
+        let w1 = Diagnostic::new("L002", Severity::Warning, &["tab.bound"], "zero extent");
+        let w2 = Diagnostic::new("L002", Severity::Warning, &["tab.bound"], "zero extent");
+        let w3 = Diagnostic::new("L001", Severity::Warning, &["sub.index"], "always ⊥");
+        let e1 = Diagnostic::new("V001", Severity::Error, &["lam.body"], "unbound `x`");
+        let got = normalize(vec![w1.clone(), w2, w3.clone(), e1.clone()]);
+        // Duplicate collapsed, error hoisted, warnings keep source order.
+        assert_eq!(got, vec![e1, w1, w3]);
     }
 }

@@ -20,10 +20,16 @@
 //! * a **shape/bounds lint pass** ([`lint_expr`]) — constant-extent
 //!   propagation through tabulations and literal dimensions that flags
 //!   statically-provable out-of-bounds subscripts (guaranteed ⊥),
-//!   zero-extent dimensions, and dead conditional branches.
+//!   zero-extent dimensions, and dead conditional branches. The pass
+//!   also consults the `aql-analysis` abstract interpreter for
+//!   *symbolic* proofs: cross-variable out-of-bounds subscripts (L004)
+//!   and provably-empty comprehension sources (L005).
 //!
 //! Diagnostic codes are stable (golden tests rely on them); the table
-//! lives in [`diag`] and DESIGN.md §10.
+//! lives in [`diag`] and DESIGN.md §10. Every entry point returns its
+//! findings through [`diag::normalize`]: duplicates collapsed, errors
+//! before warnings, source order within each class — byte-stable
+//! across runs.
 
 #![warn(missing_docs)]
 
@@ -34,7 +40,7 @@ mod vty;
 pub mod verify;
 
 pub use compiled::verify_compiled;
-pub use diag::{Diagnostic, Severity};
+pub use diag::{normalize, Diagnostic, Severity};
 pub use lint::lint_expr;
 pub use verify::{check_rewrite, verify_closed, verify_expr, verify_open};
 

@@ -16,15 +16,28 @@
 //! * **L003** — a conditional whose condition is the literal `⊥` or a
 //!   constant boolean: a branch (or the whole expression) is dead.
 //!
+//! Two further warnings come from the `aql-analysis` abstract
+//! interpreter, which runs alongside the fact pass and can reason
+//! *symbolically* (in terms of `dim(A, k)` and cross-variable
+//! arithmetic) where the constant domain above cannot:
+//!
+//! * **L004** — a subscript the symbolic domain proves out of bounds
+//!   (e.g. `A[i + dim(A)]` under `i < dim(A)`), where no constant
+//!   extent was available for L001;
+//! * **L005** — a comprehension or sum over a provably empty source:
+//!   its head is dead code.
+//!
 //! Everything is conservative: a fact is only as strong as the
 //! constants that reach it, and `Top` kills propagation. The lints
 //! never fire on merely-possible failures — only on certainties, per
 //! the paper's convention that out-of-bounds access *is* a value (⊥),
-//! not an error.
+//! not an error. Output goes through [`crate::diag::normalize`], so it
+//! is duplicate-free and byte-stable across runs.
 
+use aql_analysis::{Analysis, SubVerdict};
 use aql_core::expr::{Expr, Name};
 
-use crate::diag::{Diagnostic, Severity};
+use crate::diag::{normalize, Diagnostic, Severity};
 
 /// What is statically known about a subterm's value.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,22 +92,37 @@ fn join(a: &Fact, b: &Fact) -> Fact {
 
 /// Run the lint pass over a (resolved, well-typed) term.
 pub fn lint_expr(e: &Expr) -> Vec<Diagnostic> {
-    let mut l = Linter { diags: Vec::new(), path: Vec::new() };
+    // The symbolic pass keys its verdicts by node address, so it must
+    // run over the very tree the Linter walks.
+    let analysis = aql_analysis::analyze(e, &std::collections::BTreeMap::new());
+    let mut l = Linter { diags: Vec::new(), path: Vec::new(), analysis: &analysis };
     let mut env = Vec::new();
     l.infer(&mut env, e);
-    l.diags
+    normalize(l.diags)
 }
 
-struct Linter {
+struct Linter<'a> {
     diags: Vec<Diagnostic>,
     path: Vec<&'static str>,
+    analysis: &'a Analysis,
 }
 
 type Env = Vec<(Name, Fact)>;
 
-impl Linter {
+impl Linter<'_> {
     fn warn(&mut self, code: &'static str, message: impl Into<String>) {
         self.diags.push(Diagnostic::new(code, Severity::Warning, &self.path, message));
+    }
+
+    /// L005: the abstract interpreter proved this comprehension/sum
+    /// iterates an empty source, so its head is dead code.
+    fn empty_source_lint(&mut self, e: &Expr) {
+        if let Some(what) = self.analysis.empty_at(e) {
+            self.warn(
+                "L005",
+                format!("{what} source is provably empty: the head is dead code"),
+            );
+        }
     }
 
     fn child(&mut self, seg: &'static str, env: &mut Env, e: &Expr) -> Fact {
@@ -226,6 +254,17 @@ impl Linter {
                         }
                     }
                 }
+                // The symbolic domain catches proofs the constant
+                // domain cannot (cross-variable, `dim(·)`-relative);
+                // suppressed when L001 already fired at this site.
+                if !oob && self.analysis.verdict_of(e) == Some(SubVerdict::ProvablyOut) {
+                    oob = true;
+                    self.warn(
+                        "L004",
+                        "subscript is provably out of bounds by symbolic extent analysis: \
+                         the subscript always evaluates to bottom",
+                    );
+                }
                 if oob {
                     Fact::Bot
                 } else {
@@ -299,6 +338,7 @@ impl Linter {
             Expr::BigUnion { head, var, src }
             | Expr::BigBagUnion { head, var, src }
             | Expr::Sum { head, var, src } => {
+                self.empty_source_lint(e);
                 self.child("src", env, src);
                 env.push((var.clone(), Fact::Top));
                 self.child("head", env, head);
@@ -311,6 +351,7 @@ impl Linter {
             }
             Expr::BigUnionRank { head, var, rank, src }
             | Expr::BigBagUnionRank { head, var, rank, src } => {
+                self.empty_source_lint(e);
                 self.child("src", env, src);
                 env.push((var.clone(), Fact::Top));
                 env.push((rank.clone(), Fact::Nat { lo: 0, hi: None }));
@@ -499,5 +540,70 @@ mod tests {
         let ds = warns(&e);
         assert_eq!(ds.len(), 1, "{ds:?}");
         assert_eq!(ds[0].code, "L001");
+    }
+
+    #[test]
+    fn symbolic_oob_is_l004() {
+        // [[ A[i + dim(A)] | i < dim(A) ]] — no constant extent anywhere,
+        // so L001 is blind; the symbolic domain proves index ≥ dim(A,0).
+        let e = tab1(
+            "i",
+            dim(1, global("A")),
+            sub(global("A"), vec![add(var("i"), dim(1, global("A")))]),
+        );
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L004");
+        assert_eq!(ds[0].path, "tab.head");
+        // The in-bounds twin stays quiet.
+        let ok = tab1("i", dim(1, global("A")), sub(global("A"), vec![var("i")]));
+        assert!(warns(&ok).is_empty());
+        // When a constant extent made L001 fire, L004 stays suppressed
+        // even though the symbolic domain also proves it.
+        let both = sub(tab1("i", nat(10), var("i")), vec![nat(12)]);
+        let ds = warns(&both);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L001");
+    }
+
+    #[test]
+    fn empty_comprehension_sources_are_l005() {
+        // ⋃{ {x} | x ∈ gen(0) }
+        let e = big_union("x", gen(nat(0)), single(var("x")));
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L005");
+        assert!(ds[0].render().contains("set comprehension"), "{}", ds[0]);
+        // Σ{ x | x ∈ gen(0) }
+        let e = sum("x", gen(nat(0)), var("x"));
+        let ds = warns(&e);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, "L005");
+        assert!(ds[0].render().contains("sum"), "{}", ds[0]);
+        // A non-empty source stays quiet.
+        assert!(warns(&sum("x", gen(nat(3)), var("x"))).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_ordered_and_deduped() {
+        // Two identical zero-bound tabulations inside one tuple produce
+        // identical (code, path, message) findings — collapsed to one —
+        // and repeated runs yield byte-identical renderings.
+        let mk = || {
+            tuple(vec![
+                tab1("i", nat(0), var("i")),
+                tab1("i", nat(0), var("i")),
+                sub(tab1("j", nat(5), var("j")), vec![nat(9)]),
+            ])
+        };
+        let first = warns(&mk());
+        assert_eq!(first.len(), 2, "{first:?}");
+        assert_eq!(first[0].code, "L002");
+        assert_eq!(first[1].code, "L001");
+        let golden: Vec<String> = first.iter().map(|d| d.render()).collect();
+        for _ in 0..3 {
+            let again: Vec<String> = warns(&mk()).iter().map(|d| d.render()).collect();
+            assert_eq!(again, golden, "lint output must be byte-stable");
+        }
     }
 }

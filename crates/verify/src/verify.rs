@@ -51,7 +51,7 @@ pub fn verify_expr(
     };
     let mut env = Vec::new();
     v.infer(&mut env, e);
-    v.diags
+    crate::diag::normalize(v.diags)
 }
 
 /// Verify a closed term (no globals, no externals).
@@ -64,7 +64,7 @@ pub fn verify_closed(e: &Expr) -> Vec<Diagnostic> {
 /// engine-side mode — the optimizer rewrites subterms under binders it
 /// tracks but cannot type.
 pub fn verify_open(e: &Expr, assume: &[Name]) -> Vec<Diagnostic> {
-    verify_open_typed(e, assume).1
+    crate::diag::normalize(verify_open_typed(e, assume).1)
 }
 
 fn verify_open_typed(e: &Expr, assume: &[Name]) -> (VTy, Vec<Diagnostic>) {

@@ -2,7 +2,8 @@
 //!
 //! Re-exports the full AQL system: the NRCA core calculus
 //! ([`aql_core`]), the surface language and session ([`aql_lang`]),
-//! the optimizer ([`aql_opt`]), the IR verifier and lint pass
+//! the optimizer ([`aql_opt`]), the abstract-interpretation framework
+//! ([`aql_analysis`]), the IR verifier and lint pass
 //! ([`aql_verify`]), the NetCDF driver ([`aql_netcdf`]), the
 //! query-lifecycle tracer ([`aql_trace`]), the process-lifetime
 //! metrics registry ([`aql_metrics`]) and the always-on flight
@@ -16,6 +17,7 @@
 
 pub mod externals;
 
+pub use aql_analysis as analysis;
 pub use aql_core as core;
 pub use aql_format as format;
 pub use aql_journal as journal;

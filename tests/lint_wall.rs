@@ -1,5 +1,6 @@
-//! The workspace lint wall: no `panic!(` and no `.unwrap()` in
-//! non-test library code under `crates/*/src`.
+//! The workspace lint wall: no `panic!(`, `.unwrap()`, `todo!(`,
+//! `unimplemented!(`, or `dbg!(` in non-test library code under
+//! `crates/*/src`.
 //!
 //! Robustness is a stated goal (PR 1 made extension panics survivable;
 //! this PR makes internal invariants report instead of abort) — the
@@ -20,8 +21,10 @@ use std::path::{Path, PathBuf};
 /// Crates whose sources are exempt wholesale.
 const EXEMPT_CRATES: &[&str] = &["proptest-shim"];
 
-/// The forbidden substrings.
-const FORBIDDEN: &[&str] = &["panic!(", ".unwrap()"];
+/// The forbidden substrings. The last three keep scaffolding out of
+/// shipped code: `todo!`/`unimplemented!` abort at runtime, and `dbg!`
+/// writes to stderr from library internals.
+const FORBIDDEN: &[&str] = &["panic!(", ".unwrap()", "todo!(", "unimplemented!(", "dbg!("];
 
 /// Collect every `.rs` file under `dir`, recursively.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -108,7 +111,8 @@ fn no_panics_or_unwraps_in_library_code() {
     }
     assert!(
         violations.is_empty(),
-        "forbidden `panic!(`/`.unwrap()` in library code (add `// lint-wall: allow` \
+        "forbidden `panic!(`/`.unwrap()`/`todo!(`/`unimplemented!(`/`dbg!(` in library \
+         code (add `// lint-wall: allow` \
          with a justification if the abort is deliberate):\n{}",
         violations.join("\n")
     );

@@ -23,8 +23,12 @@ meta-commands:
   \\analyze <query>;        abstract interpretation: shape, bounds, fusibility, cost
   \\lint <query>;           run the shape/bounds lints without evaluating
   \\profile <statements>    run with tracing on and print the phase tree
+                           (… > \"f.json\"; exports Chrome trace JSON for Perfetto)
+  \\flame <statements>      sample span stacks while re-running; prints hottest
+                           stacks (… > \"f.svg\"; writes an SVG flamegraph)
   \\metrics;                print the process-lifetime metrics registry
-  \\metrics serve [addr];   serve Prometheus exposition (default 127.0.0.1:0)
+  \\metrics serve [addr];   serve Prometheus exposition + live dashboard at /
+                           (default 127.0.0.1:0)
   \\store;                  list open chunk sources, cache residency, governor
   \\attr;                   per-query resource attribution of the last run
   \\doctor [\"<path>\"];      analyze the last (or given) incident, or the live journal
@@ -117,15 +121,77 @@ pub fn run_repl(
         }
         // `\profile <statements>` runs the statements with tracing on
         // and prints the phase-timing tree plus evaluation/I/O totals
-        // after the usual echoes.
+        // after the usual echoes. With a trailing `> "file";` the
+        // trace is written as Chrome trace-event JSON instead (opens
+        // directly in Perfetto or chrome://tracing).
         if let Some(src) = trimmed_stmt.strip_prefix("\\profile ") {
+            let (src, redirect) = split_redirect(src);
             match session.profile(src) {
                 Ok((outcomes, report)) => {
                     for o in outcomes {
                         writeln!(output, "{}", o.text)?;
                         executed += 1;
                     }
-                    write!(output, "{}", report.render_profile(false))?;
+                    match redirect {
+                        Some(path) => {
+                            match std::fs::write(path, report.to_chrome_json()) {
+                                Ok(()) => writeln!(
+                                    output,
+                                    "profile: wrote chrome trace to {path} \
+                                     (open in Perfetto)"
+                                )?,
+                                Err(e) => writeln!(
+                                    output,
+                                    "error: cannot write `{path}`: {e}"
+                                )?,
+                            }
+                        }
+                        None => write!(output, "{}", report.render_profile(false))?,
+                    }
+                }
+                Err(e) => writeln!(output, "error: {e}")?,
+            }
+            pending.clear();
+            continue;
+        }
+        // `\flame <statements>` re-runs the statements under the
+        // background span-sampling profiler and prints the hottest
+        // collapsed stacks; with a trailing `> "file.svg";` it writes
+        // the SVG flamegraph instead.
+        if let Some(src) = trimmed_stmt.strip_prefix("\\flame ") {
+            let (src, redirect) = split_redirect(src);
+            match session.flame(src) {
+                Ok((outcomes, profile)) => {
+                    for o in outcomes {
+                        writeln!(output, "{}", o.text)?;
+                        executed += 1;
+                    }
+                    match redirect {
+                        Some(path) => {
+                            let svg = profile.to_svg(src.trim());
+                            match std::fs::write(path, svg) {
+                                Ok(()) => writeln!(
+                                    output,
+                                    "flame: wrote {path} ({} samples at {} Hz)",
+                                    profile.samples, profile.hz
+                                )?,
+                                Err(e) => writeln!(
+                                    output,
+                                    "error: cannot write `{path}`: {e}"
+                                )?,
+                            }
+                        }
+                        None => {
+                            writeln!(
+                                output,
+                                "flame: {} samples at {} Hz, hottest stacks:",
+                                profile.samples, profile.hz
+                            )?;
+                            for (stack, n) in profile.top(8) {
+                                writeln!(output, "  {n:>6} {stack}")?;
+                            }
+                        }
+                    }
                 }
                 Err(e) => writeln!(output, "error: {e}")?,
             }
@@ -146,7 +212,22 @@ pub fn run_repl(
             let addr = if addr.is_empty() { "127.0.0.1:0" } else { addr };
             match aql_metrics::http::serve(addr) {
                 Ok(server) => {
+                    // Wire `GET /profile?seconds=N` to the sampler.
+                    // aql-metrics stays profiler-free; the session is
+                    // the layer that owns both and ties them together.
+                    aql_metrics::http::set_profile_provider(Some(Box::new(
+                        |seconds| {
+                            match aql_profile::sample_for(
+                                std::time::Duration::from_secs(seconds),
+                                aql_profile::DEFAULT_HZ,
+                            ) {
+                                Ok(p) => p.folded_text(),
+                                Err(e) => format!("profile: sampler failed: {e}\n"),
+                            }
+                        },
+                    )));
                     writeln!(output, "metrics: serving http://{}/metrics", server.addr())?;
+                    writeln!(output, "metrics: dashboard at http://{}/", server.addr())?;
                 }
                 Err(e) => writeln!(output, "error: cannot serve metrics on `{addr}`: {e}")?,
             }
@@ -287,6 +368,24 @@ fn parse_save_args(rest: &str) -> Option<(&str, &str)> {
         return None;
     }
     Some((name, path))
+}
+
+/// Split a trailing output redirect off `\profile` / `\flame`
+/// arguments: `<statements> > "<path>";` → `(<statements>, Some(path))`.
+/// The path must be double-quoted (so a bare `a > b;` comparison query
+/// is never mistaken for a redirect) and quote-free; anything else
+/// returns the input untouched with no redirect.
+fn split_redirect(rest: &str) -> (&str, Option<&str>) {
+    let t = rest.trim_end();
+    let Some(t) = t.strip_suffix(';') else { return (rest, None) };
+    let Some(t) = t.trim_end().strip_suffix('"') else { return (rest, None) };
+    let Some((stmts, path)) = t.rsplit_once("> \"") else {
+        return (rest, None);
+    };
+    if path.is_empty() || path.contains('"') || !stmts.trim_end().ends_with(';') {
+        return (rest, None);
+    }
+    (stmts.trim_end(), Some(path))
 }
 
 /// Heuristic statement-completeness check: the buffer ends with `;`
@@ -557,11 +656,84 @@ mod tests {
     }
 
     #[test]
+    fn split_redirect_only_fires_on_quoted_trailing_paths() {
+        // Well-formed redirect after a terminated statement.
+        assert_eq!(
+            split_redirect("1 + 1; > \"out.svg\";"),
+            ("1 + 1;", Some("out.svg"))
+        );
+        assert_eq!(
+            split_redirect("val \\a = 1; a; > \"d/x.json\";"),
+            ("val \\a = 1; a;", Some("d/x.json"))
+        );
+        // A `>` comparison against a string is NOT a redirect: the
+        // part before `> "` is not a terminated statement.
+        assert_eq!(split_redirect("\"a\" > \"b\";"), ("\"a\" > \"b\";", None));
+        // No quotes → no redirect.
+        assert_eq!(split_redirect("1 + 1;"), ("1 + 1;", None));
+        assert_eq!(split_redirect("x > 3;"), ("x > 3;", None));
+    }
+
+    #[test]
+    fn backslash_flame_prints_hottest_stacks() {
+        let text = redacted_transcript(
+            "\\flame max!{ i * i | \\i <- gen!400 };\n",
+        );
+        assert!(text.contains("val it = "), "{text}");
+        assert!(text.contains("Hz, hottest stacks:"), "{text}");
+        assert!(text.contains("statement"), "span frames expected: {text}");
+    }
+
+    #[test]
+    fn backslash_flame_redirect_writes_svg() {
+        let path = std::env::temp_dir()
+            .join(format!("aql-flame-{}.svg", std::process::id()));
+        let path_str = path.display().to_string();
+        let text = redacted_transcript(&format!(
+            "\\flame max!{{ i + 1 | \\i <- gen!200 }}; > \"{path_str}\";\n"
+        ));
+        assert!(text.contains("flame: wrote"), "{text}");
+        let svg = std::fs::read_to_string(&path).expect("svg written");
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.contains("statement"), "{svg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backslash_profile_redirect_writes_chrome_trace() {
+        let path = std::env::temp_dir()
+            .join(format!("aql-chrome-{}.json", std::process::id()));
+        let path_str = path.display().to_string();
+        let text = redacted_transcript(&format!(
+            "\\profile 2 + 3; > \"{path_str}\";\n"
+        ));
+        assert!(text.contains("profile: wrote chrome trace"), "{text}");
+        assert!(text.contains("val it = 5"), "{text}");
+        let json = std::fs::read_to_string(&path).expect("json written");
+        let v = aql_trace::json::Json::parse(&json).expect("strict json");
+        let events = v
+            .get("traceEvents")
+            .and_then(aql_trace::json::Json::as_arr)
+            .expect("traceEvents");
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(aql_trace::json::Json::as_str)
+                    == Some("statement")
+                    && e.get("ph").and_then(aql_trace::json::Json::as_str)
+                        == Some("X")
+            }),
+            "{json}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn backslash_help_lists_every_meta_command() {
         let text = redacted_transcript("\\help;\n1 + 1;\n");
         for cmd in [
-            "vals;", "macros;", "\\explain", "\\analyze", "\\lint", "\\profile", "\\metrics",
-            "\\store", "\\attr", "\\doctor", "\\incidents", "\\save", "\\help", "quit",
+            "vals;", "macros;", "\\explain", "\\analyze", "\\lint", "\\profile", "\\flame",
+            "\\metrics", "\\store", "\\attr", "\\doctor", "\\incidents", "\\save", "\\help",
+            "quit",
         ] {
             assert!(text.contains(cmd), "`{cmd}` missing from \\help: {text}");
         }

@@ -41,6 +41,12 @@
 //! bounds comparisons — so at statement scale, analysis-on must never
 //! be measurably slower than analysis-off.
 //!
+//! `--profile-overhead` prices the span-sampling continuous profiler:
+//! the point-probe and subslab-scan workloads with the 99 Hz sampler
+//! off vs. running, with a 1% budget per pattern. Blocks strictly
+//! alternate off/on so machine drift cannot bias the comparison; the
+//! sampler must be cheap enough to leave on in production.
+//!
 //! `--prefetch-overhead` prices the read-ahead prefetcher both ways:
 //! random point probes (where the stride predictor never confirms and
 //! the worker must stay idle) may cost at most 2% over a
@@ -426,6 +432,91 @@ fn journal_overhead_check(path: &str) {
     }
 }
 
+/// `--profile-overhead`: time the point-probe and subslab-scan
+/// workloads with the span-sampling profiler off vs. running at its
+/// default 99 Hz, and fail loudly if sampler-on wall time exceeds
+/// sampler-off by more than 1%. The sampler never stops the mutator —
+/// each tick reads per-thread seqlock'd span paths — so the only cost
+/// the queries can see is the one relaxed atomic load that gates span
+/// publication, plus cache traffic from the sampler core. This gate
+/// holds the profiler to its design point: safe to leave on in
+/// production.
+fn profile_overhead_check(path: &str) {
+    // Short blocks, strictly alternating off/on: adjacent blocks see
+    // the same machine state (thermal, noisy neighbors), so the
+    // min-of-blocks comparison is robust to drift a coarse
+    // off-then-on split would misread as sampler overhead.
+    const BLOCK: usize = 5;
+    const BLOCKS: usize = 120; // 60 per side
+    let patterns: [(&str, &str); 2] = [
+        ("point-probe", "T[5000, 2, 2]"),
+        ("subslab-scan", "max!{ T[4000 + t, i, j] | \\t <- gen!200, \\i <- gen!5, \\j <- gen!5 }"),
+    ];
+
+    let make_session = || {
+        let mut s = Session::new();
+        s.register_reader("NC", Rc::new(reader_lazy_4m()));
+        s.run(&format!(
+            "readval \\T using NC at (\"{path}\", \"temp\", (0, 0, 0), (8759, 4, 4));"
+        ))
+        .expect("bind");
+        s
+    };
+
+    for (pattern, query) in patterns {
+        let time_block = |s: &mut Session| -> u128 {
+            let t0 = Instant::now();
+            for _ in 0..BLOCK {
+                s.eval_query(query).expect("query");
+            }
+            t0.elapsed().as_micros()
+        };
+
+        let mut s_off = make_session();
+        let mut s_on = make_session();
+        // Warm-up: chunk caches, file cache, branch predictors.
+        time_block(&mut s_off);
+        time_block(&mut s_on);
+
+        let mut best_off = u128::MAX;
+        let mut best_on = u128::MAX;
+        let mut profile = aql_profile::Profile::default();
+        for block in 0..BLOCKS {
+            if block % 2 == 0 {
+                best_off = best_off.min(time_block(&mut s_off));
+            } else {
+                // The sampler starts before and stops after the timed
+                // region: thread spawn/join churn stays untimed, the
+                // publication cost inside the queries does not.
+                let sampler =
+                    aql_profile::Sampler::start(aql_profile::DEFAULT_HZ).expect("sampler");
+                best_on = best_on.min(time_block(&mut s_on));
+                profile.merge(&sampler.stop());
+            }
+        }
+
+        let ratio = best_on as f64 / best_off as f64;
+        println!(
+            "profile overhead ({pattern}): off {best_off}µs vs on {best_on}µs \
+             (best of {} alternating blocks of {BLOCK} queries, {} samples) — ratio {ratio:.4}",
+            BLOCKS / 2,
+            profile.samples
+        );
+        for (stack, count) in profile.top(4) {
+            println!("  {count:>6} {stack}");
+        }
+        // 1% relative plus a small absolute allowance so sub-millisecond
+        // jitter on a fast machine cannot flake the check.
+        assert!(
+            best_on as f64 <= best_off as f64 * 1.01 + 500.0,
+            "PROFILE OVERHEAD BUDGET EXCEEDED on {pattern}: sampler-on runs are \
+             {:.2}% slower than sampler-off (budget: 1%)",
+            (ratio - 1.0) * 100.0
+        );
+        println!("profile overhead ({pattern}) within the 1% budget");
+    }
+}
+
 /// `--analysis-overhead`: time the point-probe and subslab-scan
 /// workloads with the per-statement interval bounds-analysis pass
 /// globally off vs. on (the default) and fail loudly if either
@@ -785,6 +876,11 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--journal-overhead") {
         journal_overhead_check(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    if std::env::args().any(|a| a == "--profile-overhead") {
+        profile_overhead_check(&path);
         std::fs::remove_dir_all(&dir).ok();
         return;
     }

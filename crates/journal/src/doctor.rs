@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use aql_trace::json::Json;
+
 use crate::attr::Ledger;
 use crate::incident::{Incident, IncidentKind};
 use crate::{Journal, Tag};
@@ -278,6 +280,162 @@ pub fn diagnose_live(journal: &Journal, attribution: Option<&Ledger>) -> String 
     out
 }
 
+/// Machine-readable counterpart of [`diagnose`]: one JSON object with
+/// stable keys for scripts and the doctor CLI's `--json` mode. Keys
+/// are part of the tool's contract — new keys may be added, existing
+/// ones are never renamed or removed.
+pub fn diagnose_json(inc: &Incident) -> String {
+    let mut obj = vec![
+        ("schema_version".to_string(), Json::Num(1.0)),
+        ("incident_kind".to_string(), Json::Str(inc.kind.name().to_string())),
+        ("seq".to_string(), Json::Num(inc.seq as f64)),
+        ("stmt_kind".to_string(), Json::Str(inc.stmt_kind.clone())),
+        ("stmt_hash".to_string(), Json::Str(inc.stmt_hash.clone())),
+        ("dur_ns".to_string(), Json::Num(inc.dur_ns as f64)),
+        ("error".to_string(), inc.error.clone().map(Json::Str).unwrap_or(Json::Null)),
+    ];
+    obj.extend(json_analysis(
+        &inc.events,
+        inc.attribution.as_ref(),
+        Some(inc.kind),
+        inc.error.as_deref(),
+    ));
+    obj.push((
+        "metrics_delta".to_string(),
+        Json::Obj(
+            inc.metrics_delta
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        ),
+    ));
+    Json::Obj(obj).write()
+}
+
+/// Machine-readable counterpart of [`diagnose_live`]: same analysis
+/// keys as [`diagnose_json`], minus the incident metadata.
+pub fn diagnose_live_json(journal: &Journal, attribution: Option<&Ledger>) -> String {
+    let mut obj = vec![
+        ("schema_version".to_string(), Json::Num(1.0)),
+        ("incident_kind".to_string(), Json::Null),
+        ("events".to_string(), Json::Num(journal.events.len() as f64)),
+    ];
+    obj.extend(json_analysis(journal, attribution, None, None));
+    Json::Obj(obj).write()
+}
+
+/// Analysis keys shared by [`diagnose_json`] and
+/// [`diagnose_live_json`]: fault class, failing/dominant source,
+/// governor counters, and the diagnosis sentence.
+fn json_analysis(
+    events: &Journal,
+    attribution: Option<&Ledger>,
+    kind: Option<IncidentKind>,
+    error: Option<&str>,
+) -> Vec<(String, Json)> {
+    let class = classify(kind, error, events);
+    let source = failing_source(events, attribution);
+    let dominant = dominant_source(events, attribution);
+    let subject = subject_for(source.as_deref());
+    let mut out = vec![
+        ("fault_class".to_string(), Json::Str(class.name().to_string())),
+        ("failing_source".to_string(), source.map(Json::Str).unwrap_or(Json::Null)),
+        (
+            "dominant_source".to_string(),
+            match &dominant {
+                Some((label, bytes)) => Json::Obj(vec![
+                    ("label".to_string(), Json::Str(label.clone())),
+                    ("bytes".to_string(), Json::Num(*bytes as f64)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "governor".to_string(),
+            match attribution {
+                Some(l) => Json::Obj(vec![
+                    ("peak_bytes".to_string(), Json::Num(l.governor_peak_bytes as f64)),
+                    ("sheds".to_string(), Json::Num(l.governor_sheds as f64)),
+                    ("denials".to_string(), Json::Num(l.governor_denials as f64)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ];
+    out.push(("diagnosis".to_string(), Json::Str(advice_for(class, &subject))));
+    out
+}
+
+/// Dominant cost source: prefer the precise attribution ledger, fall
+/// back to byte counts reconstructed from the event window.
+fn dominant_source(
+    events: &Journal,
+    attribution: Option<&Ledger>,
+) -> Option<(String, u64)> {
+    attribution
+        .and_then(|l| l.dominant_source().map(|(s, c)| (s.to_string(), c.total_bytes())))
+        .or_else(|| {
+            let rows = cache_rows(events);
+            rows.iter()
+                .filter(|(_, r)| r.bytes > 0)
+                .max_by_key(|(_, r)| r.bytes)
+                .map(|(l, r)| (l.clone(), r.bytes))
+        })
+}
+
+/// The `diagnosis: …` sentence for a classified fault. `subject` is
+/// either ``source `<label>` `` or "the statement".
+fn advice_for(class: FaultClass, subject: &str) -> String {
+    match class {
+        FaultClass::TransientIo => format!(
+            "diagnosis: {subject} hit transient I/O faults; retries were spent before the \
+             outcome. If this recurs, raise the retry budget or investigate the backing store."
+        ),
+        FaultClass::Corruption => format!(
+            "diagnosis: {subject} returned corrupt data (checksum mismatch). Retries cannot \
+             fix corruption — verify the file on disk (`aqf`/NetCDF) and restore from a good copy."
+        ),
+        FaultClass::ResourceExhausted => format!(
+            "diagnosis: {subject} exhausted the memory governor's budget. Raise the budget, \
+             shrink the working set, or let eviction shed colder bindings first."
+        ),
+        FaultClass::Unavailable => format!(
+            "diagnosis: {subject} is unavailable — its circuit breaker opened after repeated \
+             failures. Calls fast-fail until the cooldown elapses; check the backing store's health."
+        ),
+        FaultClass::Deadline => format!(
+            "diagnosis: {subject} exceeded its deadline. Narrow the subslab, raise the limit, \
+             or check whether cold reads (see the cost source above) dominated the wall time."
+        ),
+        FaultClass::Cancelled => {
+            "diagnosis: the statement was cancelled or interrupted before completing.".to_string()
+        }
+        FaultClass::SlowQuery => format!(
+            "diagnosis: no failure — {subject} was just slow. The dominant cost source above \
+             shows where the bytes went; consider prefetch, a larger cache budget, or a \
+             narrower subslab."
+        ),
+        FaultClass::Healthy => {
+            "diagnosis: nothing wrong — no errors, retries, breaker events, or governor \
+             pressure recorded. The session is healthy; there is nothing to diagnose."
+                .to_string()
+        }
+        FaultClass::Unknown => format!(
+            "diagnosis: no specific fault signature recognized for {subject}; inspect the \
+             timeline and metrics deltas above."
+        ),
+    }
+}
+
+/// ``source `<label>` `` when a failing source is known, else "the
+/// statement".
+fn subject_for(source: Option<&str>) -> String {
+    source
+        .filter(|s| !s.is_empty())
+        .map(|s| format!("source `{s}`"))
+        .unwrap_or_else(|| "the statement".to_string())
+}
+
 fn body(
     events: &Journal,
     attribution: Option<&Ledger>,
@@ -286,17 +444,8 @@ fn body(
 ) -> String {
     let mut out = String::new();
 
-    // Dominant cost source: prefer the precise attribution ledger,
-    // fall back to byte counts reconstructed from the event window.
     let rows = cache_rows(events);
-    let dominant: Option<(String, u64)> = attribution
-        .and_then(|l| l.dominant_source().map(|(s, c)| (s.to_string(), c.total_bytes())))
-        .or_else(|| {
-            rows.iter()
-                .filter(|(_, r)| r.bytes > 0)
-                .max_by_key(|(_, r)| r.bytes)
-                .map(|(l, r)| (l.clone(), r.bytes))
-        });
+    let dominant = dominant_source(events, attribution);
     match &dominant {
         Some((label, bytes)) => out.push_str(&format!(
             "dominant cost source: `{label}` ({bytes} B moved)\n"
@@ -349,51 +498,8 @@ fn body(
     let class = classify(kind, error, events);
     let source = failing_source(events, attribution);
     out.push_str(&format!("fault class: {}\n", class.name()));
-    let subject = source
-        .as_deref()
-        .filter(|s| !s.is_empty())
-        .map(|s| format!("source `{s}`"))
-        .unwrap_or_else(|| "the statement".to_string());
-    let advice = match class {
-        FaultClass::TransientIo => format!(
-            "diagnosis: {subject} hit transient I/O faults; retries were spent before the \
-             outcome. If this recurs, raise the retry budget or investigate the backing store."
-        ),
-        FaultClass::Corruption => format!(
-            "diagnosis: {subject} returned corrupt data (checksum mismatch). Retries cannot \
-             fix corruption — verify the file on disk (`aqf`/NetCDF) and restore from a good copy."
-        ),
-        FaultClass::ResourceExhausted => format!(
-            "diagnosis: {subject} exhausted the memory governor's budget. Raise the budget, \
-             shrink the working set, or let eviction shed colder bindings first."
-        ),
-        FaultClass::Unavailable => format!(
-            "diagnosis: {subject} is unavailable — its circuit breaker opened after repeated \
-             failures. Calls fast-fail until the cooldown elapses; check the backing store's health."
-        ),
-        FaultClass::Deadline => format!(
-            "diagnosis: {subject} exceeded its deadline. Narrow the subslab, raise the limit, \
-             or check whether cold reads (see the cost source above) dominated the wall time."
-        ),
-        FaultClass::Cancelled => {
-            "diagnosis: the statement was cancelled or interrupted before completing.".to_string()
-        }
-        FaultClass::SlowQuery => format!(
-            "diagnosis: no failure — {subject} was just slow. The dominant cost source above \
-             shows where the bytes went; consider prefetch, a larger cache budget, or a \
-             narrower subslab."
-        ),
-        FaultClass::Healthy => {
-            "diagnosis: nothing wrong — no errors, retries, breaker events, or governor \
-             pressure recorded. The session is healthy; there is nothing to diagnose."
-                .to_string()
-        }
-        FaultClass::Unknown => format!(
-            "diagnosis: no specific fault signature recognized for {subject}; inspect the \
-             timeline and metrics deltas above."
-        ),
-    };
-    out.push_str(&advice);
+    let subject = subject_for(source.as_deref());
+    out.push_str(&advice_for(class, &subject));
     out.push('\n');
     out
 }
@@ -440,6 +546,74 @@ mod tests {
         assert!(report.contains("fault class: transient-io"), "{report}");
         assert!(report.contains("netcdf:grid"), "{report}");
         assert!(report.contains("retry attempt 2"), "{report}");
+    }
+
+    #[test]
+    fn diagnose_json_golden() {
+        let l = intern("netcdf:grid");
+        let inc = incident_with(
+            IncidentKind::Error,
+            Some("storage: chunk read failed after 3 attempts: injected transient fault"),
+            vec![ev(Tag::Retry, l, 1, 0, 10), ev(Tag::Retry, l, 2, 0, 20)],
+            None,
+        );
+        let got = diagnose_json(&inc);
+        let want = concat!(
+            "{\"schema_version\":1,",
+            "\"incident_kind\":\"error\",",
+            "\"seq\":3,",
+            "\"stmt_kind\":\"query\",",
+            "\"stmt_hash\":\"deadbeefdeadbeef\",",
+            "\"dur_ns\":2000000,",
+            "\"error\":\"storage: chunk read failed after 3 attempts: injected transient fault\",",
+            "\"fault_class\":\"transient-io\",",
+            "\"failing_source\":\"netcdf:grid\",",
+            "\"dominant_source\":null,",
+            "\"governor\":null,",
+            "\"diagnosis\":\"diagnosis: source `netcdf:grid` hit transient I/O faults; ",
+            "retries were spent before the outcome. If this recurs, raise the retry ",
+            "budget or investigate the backing store.\",",
+            "\"metrics_delta\":{\"aql_store_chunk_retries_total\":2}}",
+        );
+        assert_eq!(got, want);
+        // And it must be strict JSON our own parser accepts.
+        let parsed = Json::parse(&got).expect("diagnose_json emits parseable JSON");
+        assert_eq!(parsed.get("fault_class").and_then(Json::as_str), Some("transient-io"));
+    }
+
+    #[test]
+    fn diagnose_json_reports_dominant_source_and_governor_from_ledger() {
+        let counts = SourceCounts {
+            chunks_loaded: 4,
+            bytes_read: 4096,
+            ..SourceCounts::default()
+        };
+        let ledger = Ledger {
+            sources: vec![("aqf:sst".to_string(), counts)],
+            governor_peak_bytes: 1 << 20,
+            governor_sheds: 1,
+            ..Ledger::default()
+        };
+        let inc = incident_with(IncidentKind::Slow, None, vec![], Some(ledger));
+        let parsed = Json::parse(&diagnose_json(&inc)).expect("parseable");
+        let dom = parsed.get("dominant_source").expect("dominant_source key");
+        assert_eq!(dom.get("label").and_then(Json::as_str), Some("aqf:sst"));
+        assert_eq!(dom.get("bytes").and_then(Json::as_u64), Some(4096));
+        let gov = parsed.get("governor").expect("governor key");
+        assert_eq!(gov.get("peak_bytes").and_then(Json::as_u64), Some(1 << 20));
+        assert_eq!(gov.get("sheds").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("fault_class").and_then(Json::as_str), Some("slow-query"));
+        assert_eq!(parsed.get("error"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn diagnose_live_json_has_stable_shape() {
+        let journal = Journal { events: vec![] };
+        let parsed = Json::parse(&diagnose_live_json(&journal, None)).expect("parseable");
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("incident_kind"), Some(&Json::Null));
+        assert_eq!(parsed.get("events").and_then(Json::as_u64), Some(0));
+        assert_eq!(parsed.get("fault_class").and_then(Json::as_str), Some("healthy"));
     }
 
     #[test]

@@ -1,15 +1,26 @@
-//! A dependency-free Prometheus scrape endpoint.
+//! A dependency-free Prometheus scrape endpoint and live dashboard.
 //!
 //! [`serve`] binds a `std::net::TcpListener`, spawns one responder
-//! thread, and answers three routes:
+//! thread, and answers six routes:
 //!
+//! * `GET /` — a self-contained live HTML dashboard (inline CSS/JS, no
+//!   external assets) polling `/stats.json`;
+//! * `GET /stats.json` — the operator's digest: latency quantiles,
+//!   statement and error totals, cache hit ratio, governor residency,
+//!   journal drops, breaker counters (stable keys; see the
+//!   `dashboard` module docs);
 //! * `GET /metrics` — [`render_prometheus`](crate::render_prometheus)
 //!   exposition;
 //! * `GET /healthz` — a JSON liveness probe: status, uptime, and the
 //!   flight recorder's `aql_journal_dropped_total` (read back from the
 //!   registry, so this crate stays dependency-free);
 //! * `GET /incidents` — a JSON listing of recent incident files in the
-//!   directory registered via [`set_incident_dir`], newest first.
+//!   directory registered via [`set_incident_dir`], newest first;
+//! * `GET /profile?seconds=N` — folded span stacks sampled over a live
+//!   window, delegated to the provider registered via
+//!   [`set_profile_provider`] (503 when none is installed — the
+//!   profiler lives in `aql-profile`, and this crate stays
+//!   dependency-free).
 //!
 //! Anything else gets a 404. One request per connection
 //! (`Connection: close`), which is exactly the Prometheus scrape model;
@@ -43,6 +54,41 @@ pub fn set_incident_dir(dir: Option<PathBuf>) {
     *INCIDENT_DIR.lock().unwrap_or_else(|p| p.into_inner()) = dir;
 }
 
+/// A live-profile callback: given a window in seconds, return folded
+/// span stacks (`path;to;frame count` lines). See
+/// [`set_profile_provider`].
+pub type ProfileProvider = Box<dyn Fn(u64) -> String + Send + Sync>;
+
+/// The provider `GET /profile?seconds=N` delegates to.
+static PROFILE_PROVIDER: Mutex<Option<ProfileProvider>> = Mutex::new(None);
+
+/// Register (or clear, with `None`) the live-profile provider behind
+/// `GET /profile?seconds=N`. This crate has no profiler of its own —
+/// `aql-profile` owns the sampler, and hosts wire the two together
+/// (the REPL's `\metrics serve` does) exactly like [`set_incident_dir`]
+/// keeps the incident pipeline decoupled.
+pub fn set_profile_provider(provider: Option<ProfileProvider>) {
+    *PROFILE_PROVIDER.lock().unwrap_or_else(|p| p.into_inner()) = provider;
+}
+
+/// Window bounds for `/profile?seconds=N`: at least one second, capped
+/// so one request cannot occupy the responder thread for minutes.
+const PROFILE_MAX_SECONDS: u64 = 30;
+
+/// The `/profile` response, or `None` when no provider is registered.
+/// The provider call blocks for the sampling window — acceptable on
+/// the single-request-per-connection responder thread.
+fn profile_body(query: &str) -> Option<String> {
+    let seconds = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("seconds="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+        .clamp(1, PROFILE_MAX_SECONDS);
+    let guard = PROFILE_PROVIDER.lock().unwrap_or_else(|p| p.into_inner());
+    guard.as_ref().map(|p| p(seconds))
+}
+
 /// Seconds since the liveness anchor.
 fn uptime_s() -> u64 {
     STARTED.get_or_init(Instant::now).elapsed().as_secs()
@@ -58,8 +104,9 @@ fn healthz_body() -> String {
     )
 }
 
-/// JSON-escape for the two path-ish strings `/incidents` emits.
-fn json_escape(s: &str) -> String {
+/// JSON-escape for the path-ish strings `/incidents` and `/stats.json`
+/// emit.
+pub(crate) fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
@@ -176,11 +223,41 @@ fn respond(mut stream: TcpStream) -> std::io::Result<()> {
         ("200 OK", "application/json; charset=utf-8", healthz_body())
     } else if method == "GET" && path == "/incidents" {
         ("200 OK", "application/json; charset=utf-8", incidents_body())
+    } else if method == "GET" && (path == "/" || path == "/index.html") {
+        (
+            "200 OK",
+            "text/html; charset=utf-8",
+            crate::dashboard::DASHBOARD_HTML.to_string(),
+        )
+    } else if method == "GET"
+        && (path == "/stats.json" || path.starts_with("/stats.json?"))
+    {
+        (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::dashboard::stats_json(uptime_s()),
+        )
+    } else if method == "GET"
+        && (path == "/profile" || path.starts_with("/profile?"))
+    {
+        let query = path.split_once('?').map_or("", |(_, q)| q);
+        match profile_body(query) {
+            Some(folded) => ("200 OK", "text/plain; charset=utf-8", folded),
+            None => (
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                "profile: no provider registered (serve from a session \
+                 with aql-profile wired in)\n"
+                    .to_string(),
+            ),
+        }
     } else {
         (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try GET /metrics, /healthz or /incidents\n".to_string(),
+            "not found; try GET /, /stats.json, /metrics, /healthz, \
+             /incidents or /profile?seconds=N\n"
+                .to_string(),
         )
     };
     let response = format!(
@@ -258,6 +335,63 @@ mod tests {
         set_incident_dir(None);
         server.stop();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stop_releases_the_port_for_rebinding() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let _ = fetch(addr, "/healthz");
+        server.stop();
+        // The self-connection unblocks `accept`, the thread drops the
+        // listener, and the port must be bindable again promptly. A
+        // short retry loop absorbs the thread's exit latency; a leaked
+        // listener would keep EADDRINUSE forever.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let rebound = loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => break Some(l),
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break None,
+            }
+        };
+        assert!(rebound.is_some(), "port {addr} not released after stop()");
+    }
+
+    #[test]
+    fn dashboard_and_stats_routes_serve() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let page = fetch(server.addr(), "/");
+        assert!(page.starts_with("HTTP/1.1 200 OK\r\n"), "{page}");
+        assert!(page.contains("text/html"), "{page}");
+        assert!(page.contains("<!doctype html>"), "{page}");
+        let stats = fetch(server.addr(), "/stats.json");
+        assert!(stats.starts_with("HTTP/1.1 200 OK\r\n"), "{stats}");
+        let body = stats.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.starts_with("{\"schema_version\":1,"), "{body}");
+        assert!(body.contains("\"latency_ns\":{"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn profile_route_uses_the_registered_provider() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        set_profile_provider(None);
+        let off = fetch(server.addr(), "/profile?seconds=1");
+        assert!(off.starts_with("HTTP/1.1 503"), "{off}");
+        set_profile_provider(Some(Box::new(|secs| {
+            format!("statement;eval {secs}\n")
+        })));
+        // Malformed / missing / huge windows clamp instead of erroring.
+        let got = fetch(server.addr(), "/profile?seconds=9999");
+        assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
+        assert!(got.ends_with("statement;eval 30\n"), "{got}");
+        let default = fetch(server.addr(), "/profile");
+        assert!(default.ends_with("statement;eval 1\n"), "{default}");
+        set_profile_provider(None);
+        server.stop();
     }
 
     #[test]

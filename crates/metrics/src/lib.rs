@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod dashboard;
 pub mod http;
 
 use std::collections::HashMap;
@@ -236,16 +237,20 @@ impl HistogramSnapshot {
     }
 
     /// Estimated `q`-quantile (`0.0 ..= 1.0`): find the bucket holding
-    /// the rank-`⌈q·n⌉` observation and interpolate linearly inside
-    /// its `[lo, hi]` bounds. Exact for single-bucket data; never off
-    /// by more than the bucket width (a factor of two) otherwise.
-    /// Returns `None` when no observations were recorded.
+    /// the rank-`⌈q·n⌉` observation and interpolate inside its
+    /// `[lo, hi]` bounds, placing the rank-th observation at the
+    /// midpoint of its `1/c` slice (so one observation reads as the
+    /// bucket midpoint, not the bucket's upper bound). Never off by
+    /// more than the bucket width (a factor of two). Monotone in `q`
+    /// by construction: the rank, the bucket scan, and the in-bucket
+    /// offset are each non-decreasing in `q`. Returns `None` when no
+    /// observations were recorded; a NaN `q` is treated as the median.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.5 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -255,7 +260,7 @@ impl HistogramSnapshot {
             if seen + c >= rank {
                 let (lo, hi) = bounds_of(i);
                 let within = rank - seen; // 1 ..= c
-                let frac = within as f64 / c as f64;
+                let frac = (within as f64 - 0.5) / c as f64;
                 // Saturate and clamp: the f64 round trip can round the
                 // top bucket's width up past `hi`.
                 let off = ((hi - lo) as f64 * frac) as u64;
@@ -652,6 +657,73 @@ mod tests {
         let p99 = s.quantile(0.99).expect("nonempty");
         assert!((512..=1023).contains(&p99), "{p99}");
         assert_eq!(histogram("t_lib_empty_hist", "h").quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_zero_samples_is_none_for_all_q() {
+        let h = histogram("t_q_empty_ns", "h");
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, f64::NAN, -1.0, 2.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_flat_and_in_bucket() {
+        let h = histogram("t_q_single_ns", "h");
+        h.observe(700); // bucket [512, 1023]
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).expect("nonempty");
+        // With one observation every quantile is the same estimate…
+        assert_eq!(s.quantile(0.95), Some(p50));
+        assert_eq!(s.quantile(0.99), Some(p50));
+        assert_eq!(s.quantile(0.0), Some(p50));
+        assert_eq!(s.quantile(1.0), Some(p50));
+        // …and it sits inside the sample's bucket, at its midpoint
+        // rather than pinned to the bucket's upper bound.
+        assert!((512..=1023).contains(&p50), "{p50}");
+        assert_eq!(p50, 512 + (1023 - 512) / 2);
+    }
+
+    #[test]
+    fn quantile_all_in_one_bucket_is_monotone_within_bounds() {
+        let h = histogram("t_q_onebucket_ns", "h");
+        for _ in 0..100 {
+            h.observe(3000); // bucket [2048, 4095]
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).expect("nonempty");
+        let p95 = s.quantile(0.95).expect("nonempty");
+        let p99 = s.quantile(0.99).expect("nonempty");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        for p in [p50, p95, p99] {
+            assert!((2048..=4095).contains(&p), "{p}");
+        }
+        // Degenerate bucket 0 (all zeros) stays exact.
+        let hz = histogram("t_q_zeros_ns", "h");
+        for _ in 0..10 {
+            hz.observe(0);
+        }
+        assert_eq!(hz.quantile(0.5), Some(0));
+        assert_eq!(hz.quantile(0.99), Some(0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q_and_nan_is_median() {
+        let h = histogram("t_q_monotone_ns", "h");
+        for v in [1u64, 5, 9, 80, 700, 700, 6000, 50_000, 50_000, 1 << 40] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for i in 0..=100 {
+            let v = s.quantile(i as f64 / 100.0).expect("nonempty");
+            assert!(v >= last, "q={i}%: {v} < {last}");
+            last = v;
+        }
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.5));
+        // Out-of-range q clamps to the extremes.
+        assert_eq!(s.quantile(-3.0), s.quantile(0.0));
+        assert_eq!(s.quantile(7.0), s.quantile(1.0));
     }
 
     #[test]

@@ -230,6 +230,10 @@ fn load_chunk(
         Ok(buf)
     };
     cache.get_or_load_with(id, || {
+        // Miss path only: hits never reach this closure, so the span
+        // (and the sampling profiler reading it) sees exactly the
+        // time spent materializing chunks from warm pools or sources.
+        let _span = aql_trace::span("cache.load");
         if let Some(pf) = prefetch {
             if let Some(buf) = pf.take(id) {
                 // Warm buffers get the same validation: the worker's

@@ -413,6 +413,61 @@ impl Trace {
     pub fn from_json(src: &str) -> Result<Trace, String> {
         Trace::from_json_value(&Json::parse(src)?)
     }
+
+    /// The trace as a Chrome trace-event JSON value: one complete
+    /// (`"ph": "X"`) event per span, timestamps and durations in
+    /// microseconds (fractional, preserving nanosecond resolution),
+    /// span counters and notes carried in `args`. The result loads
+    /// directly in Perfetto or `chrome://tracing`.
+    pub fn to_chrome_json_value(&self) -> Json {
+        let mut events = Vec::with_capacity(self.spans.len() + 1);
+        // Process-name metadata event so the track is labeled.
+        events.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str("process_name".to_string())),
+            ("ph".to_string(), Json::Str("M".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(1.0)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![(
+                    "name".to_string(),
+                    Json::Str("aql".to_string()),
+                )]),
+            ),
+        ]));
+        for s in &self.spans {
+            let mut args: Vec<(String, Json)> = s
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect();
+            args.extend(
+                s.notes.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))),
+            );
+            events.push(Json::Obj(vec![
+                ("name".to_string(), Json::Str(s.name.clone())),
+                ("cat".to_string(), Json::Str("aql".to_string())),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::Num(s.start_ns as f64 / 1000.0)),
+                (
+                    "dur".to_string(),
+                    Json::Num(s.dur_ns.unwrap_or(0) as f64 / 1000.0),
+                ),
+                ("pid".to_string(), Json::Num(1.0)),
+                ("tid".to_string(), Json::Num(1.0)),
+                ("args".to_string(), Json::Obj(args)),
+            ]));
+        }
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(events)),
+            ("displayTimeUnit".to_string(), Json::Str("ns".to_string())),
+        ])
+    }
+
+    /// [`Trace::to_chrome_json_value`] serialized to a compact string.
+    pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_value().write()
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +516,38 @@ mod tests {
         let t = crate::disable();
         let back = Trace::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn chrome_export_is_strict_json_with_complete_events() {
+        crate::enable();
+        {
+            let _a = crate::span("statement");
+            crate::note("kind", || "query".to_string());
+            let _b = crate::span("eval");
+            crate::count("eval.steps", 42);
+        }
+        let t = crate::disable();
+        let s = t.to_chrome_json();
+        let v = Json::parse(&s).unwrap(); // strict: rejects trailing garbage
+        let events = v.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Metadata event + one per span.
+        assert_eq!(events.len(), 1 + t.spans.len());
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        for e in &events[1..] {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            assert!(matches!(e.get("ts"), Some(Json::Num(_))));
+            assert!(matches!(e.get("dur"), Some(Json::Num(_))));
+        }
+        let eval = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("eval"))
+            .unwrap();
+        assert_eq!(
+            eval.get("args").unwrap().get("eval.steps"),
+            Some(&Json::Num(42.0))
+        );
     }
 
     #[test]

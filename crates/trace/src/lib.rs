@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod livepath;
 
 use std::cell::{Cell, RefCell};
 use std::time::Instant;
@@ -313,10 +314,17 @@ pub fn disable() -> Trace {
 #[must_use = "a span guard measures until it is dropped"]
 pub struct SpanGuard {
     idx: Option<usize>,
+    /// Whether opening this span published a live-path frame (see
+    /// [`livepath`]); if so, dropping must pop exactly one frame even
+    /// if publication was turned off in between.
+    published: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.published {
+            livepath::on_span_close();
+        }
         let Some(idx) = self.idx else { return };
         COLLECTOR.with(|c| {
             let mut b = c.borrow_mut();
@@ -340,8 +348,9 @@ impl Drop for SpanGuard {
 /// guard that records the duration when dropped.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    let published = livepath::on_span_open(name);
     if !enabled() {
-        return SpanGuard { idx: None };
+        return SpanGuard { idx: None, published };
     }
     let idx = COLLECTOR.with(|c| {
         let mut b = c.borrow_mut();
@@ -358,7 +367,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         col.stack.push(idx);
         Some(idx)
     });
-    SpanGuard { idx }
+    SpanGuard { idx, published }
 }
 
 fn bump(target: &mut Vec<(String, u64)>, name: &str, delta: u64) {

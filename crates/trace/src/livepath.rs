@@ -1,0 +1,412 @@
+//! Lock-free "current span path" publication for sampling profilers.
+//!
+//! The trace collector in this crate is strictly thread-local and
+//! post-hoc: spans are recorded, then read back after [`disable`]
+//! returns the [`Trace`]. A sampling profiler needs the opposite view —
+//! *which spans are open on every thread right now* — read from a
+//! foreign thread without stopping the writer.
+//!
+//! This module maintains, per thread, a fixed-size seqlock-protected
+//! array of interned span-name ids mirroring the thread's open-span
+//! stack. Publication is off by default and costs one relaxed atomic
+//! load per [`span`] call; a profiler turns it on with
+//! [`publish_begin`] (refcounted, so overlapping samplers compose) and
+//! reads every registered thread with [`sample_all`].
+//!
+//! Design notes:
+//!
+//! - **Names are interned, not copied.** Span names are `&'static str`;
+//!   a tiny global interner maps each distinct name to a `u32` id once,
+//!   with a per-thread pointer-keyed cache so the steady-state push
+//!   path never takes the interner lock. Frames publish ids, readers
+//!   map ids back to names.
+//! - **Seqlock per slot.** The owning thread is the only writer, so a
+//!   sequence counter (odd while a write is in flight) plus bounded
+//!   reader retries gives consistent snapshots without blocking the
+//!   writer. All fields are atomics: even a lost race yields at worst a
+//!   stale sample, never undefined behavior — and no `unsafe` anywhere.
+//! - **Depth is capped** at [`MAX_DEPTH`]; deeper nesting still counts
+//!   depth (so pops stay balanced) but truncates the published frames.
+//!
+//! [`disable`]: crate::disable
+//! [`Trace`]: crate::Trace
+//! [`span`]: crate::span
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum published span-stack depth per thread. Deeper frames are
+/// truncated (depth still counts them so pushes and pops balance).
+pub const MAX_DEPTH: usize = 64;
+
+/// Bounded seqlock read retries before a sampler gives up on a thread
+/// for this tick (the thread is pushing/popping faster than we read).
+const READ_RETRIES: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Name interner
+// ---------------------------------------------------------------------------
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    // Pointer-keyed cache: `&'static str` literals have stable
+    // addresses, so (ptr, len) identifies a name without a string
+    // compare. A linear scan is fine — a process has tens of distinct
+    // span names, not thousands.
+    static NAME_CACHE: RefCell<Vec<(usize, usize, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Intern `name`, returning its stable id (> 0; 0 means "no frame").
+fn intern(name: &'static str) -> u32 {
+    let key = (name.as_ptr() as usize, name.len());
+    let cached = NAME_CACHE.with(|c| {
+        c.borrow()
+            .iter()
+            .find(|(p, l, _)| (*p, *l) == key)
+            .map(|&(_, _, id)| id)
+    });
+    if let Some(id) = cached {
+        return id;
+    }
+    let mut tab = names().lock().unwrap_or_else(|p| p.into_inner());
+    let id = match tab.iter().position(|&n| n == name) {
+        Some(i) => i as u32 + 1,
+        None => {
+            tab.push(name);
+            tab.len() as u32
+        }
+    };
+    drop(tab);
+    NAME_CACHE.with(|c| c.borrow_mut().push((key.0, key.1, id)));
+    id
+}
+
+/// The interned name for `id`, if any.
+fn resolve(id: u32) -> Option<&'static str> {
+    if id == 0 {
+        return None;
+    }
+    let tab = names().lock().unwrap_or_else(|p| p.into_inner());
+    tab.get(id as usize - 1).copied()
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread slot
+// ---------------------------------------------------------------------------
+
+/// One thread's published span path: a seqlock (odd `seq` = write in
+/// flight) over a depth counter and a fixed array of interned ids.
+struct PathSlot {
+    seq: AtomicU32,
+    depth: AtomicUsize,
+    frames: [AtomicU32; MAX_DEPTH],
+    alive: AtomicBool,
+    thread: String,
+}
+
+impl PathSlot {
+    fn new(thread: String) -> Self {
+        PathSlot {
+            seq: AtomicU32::new(0),
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicU32::new(0)),
+            alive: AtomicBool::new(true),
+            thread,
+        }
+    }
+
+    /// Push one frame (owning thread only).
+    fn push(&self, id: u32) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+        let d = self.depth.load(Ordering::Relaxed);
+        if d < MAX_DEPTH {
+            self.frames[d].store(id, Ordering::Relaxed);
+        }
+        self.depth.store(d + 1, Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Pop one frame (owning thread only). Tolerates an already-empty
+    /// stack (a sampler was enabled between a span's open and close).
+    fn pop(&self) {
+        let d = self.depth.load(Ordering::Relaxed);
+        if d == 0 {
+            return;
+        }
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+        self.depth.store(d - 1, Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Best-effort consistent read of the current frame ids.
+    fn read(&self) -> Option<Vec<u32>> {
+        for _ in 0..READ_RETRIES {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let d = self.depth.load(Ordering::Relaxed).min(MAX_DEPTH);
+            let mut ids = Vec::with_capacity(d);
+            for f in &self.frames[..d] {
+                ids.push(f.load(Ordering::Relaxed));
+            }
+            let s2 = self.seq.load(Ordering::Acquire);
+            if s1 == s2 {
+                return Some(ids);
+            }
+        }
+        None
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<PathSlot>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<PathSlot>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Owns this thread's registration; marks the slot dead on thread exit
+/// so samplers skip it (the registry prunes dead slots on new
+/// registrations).
+struct SlotHandle(Arc<PathSlot>);
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        self.0.alive.store(false, Ordering::Release);
+    }
+}
+
+thread_local! {
+    static SLOT: RefCell<Option<SlotHandle>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with this thread's slot, registering it on first use.
+fn with_slot<R>(f: impl FnOnce(&PathSlot) -> R) -> Option<R> {
+    SLOT.with(|s| {
+        let mut b = s.try_borrow_mut().ok()?;
+        if b.is_none() {
+            let name = std::thread::current().name().unwrap_or("?").to_string();
+            let slot = Arc::new(PathSlot::new(name));
+            let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+            reg.retain(|s| s.alive.load(Ordering::Acquire));
+            reg.push(Arc::clone(&slot));
+            drop(reg);
+            *b = Some(SlotHandle(slot));
+        }
+        b.as_ref().map(|h| f(&h.0))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Publication gate
+// ---------------------------------------------------------------------------
+
+static PUBLISHERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether any profiler currently wants span paths published. This is
+/// the only cost [`span`](crate::span) pays when no sampler runs: one
+/// relaxed load.
+#[inline]
+pub fn publishing() -> bool {
+    PUBLISHERS.load(Ordering::Relaxed) > 0
+}
+
+/// Begin publishing span paths (refcounted; pair with [`publish_end`]).
+pub fn publish_begin() {
+    PUBLISHERS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// End one publisher's interest begun with [`publish_begin`].
+pub fn publish_end() {
+    // Saturate rather than wrap on unmatched calls.
+    let _ = PUBLISHERS.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
+}
+
+/// Called by [`span`](crate::span) on open. Returns whether a frame was
+/// pushed (the guard must pop exactly when this returned `true`, even
+/// if publication stops in between).
+#[inline]
+pub(crate) fn on_span_open(name: &'static str) -> bool {
+    if !publishing() {
+        return false;
+    }
+    let id = intern(name);
+    with_slot(|slot| slot.push(id)).is_some()
+}
+
+/// Called by `SpanGuard::drop` when its open pushed a frame.
+pub(crate) fn on_span_close() {
+    let _ = with_slot(|slot| slot.pop());
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+/// One thread's span path at the instant of a sample.
+#[derive(Debug, Clone)]
+pub struct ThreadSample {
+    /// The thread's name at registration (`"?"` if unnamed).
+    pub thread: String,
+    /// Innermost-last open span names, root first.
+    pub frames: Vec<&'static str>,
+}
+
+impl ThreadSample {
+    /// The frames joined with `;`, the collapsed folded-stacks key.
+    pub fn folded(&self) -> String {
+        self.frames.join(";")
+    }
+}
+
+/// Snapshot every live registered thread's current span path. Threads
+/// mid-write after bounded retries are skipped for this tick; threads
+/// with no open span return an entry with empty `frames`.
+pub fn sample_all() -> Vec<ThreadSample> {
+    let slots: Vec<Arc<PathSlot>> = {
+        let reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        reg.iter()
+            .filter(|s| s.alive.load(Ordering::Acquire))
+            .cloned()
+            .collect()
+    };
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let Some(ids) = slot.read() else { continue };
+        let frames: Vec<&'static str> = ids.into_iter().filter_map(resolve).collect();
+        out.push(ThreadSample { thread: slot.thread.clone(), frames });
+    }
+    out
+}
+
+/// This thread's currently published span path (registers the thread
+/// if needed). Mostly useful in tests; samplers use [`sample_all`].
+pub fn current_path() -> Vec<&'static str> {
+    with_slot(|slot| {
+        slot.read()
+            .map(|ids| ids.into_iter().filter_map(resolve).collect())
+            .unwrap_or_default()
+    })
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that flip the global publication gate.
+    fn gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn no_publication_when_disabled() {
+        let _g = gate();
+        let s = crate::span("lp-off");
+        assert!(current_path().is_empty());
+        drop(s);
+    }
+
+    #[test]
+    fn path_mirrors_open_spans() {
+        let _g = gate();
+        publish_begin();
+        {
+            let _a = crate::span("lp-a");
+            let _b = crate::span("lp-b");
+            assert_eq!(current_path(), vec!["lp-a", "lp-b"]);
+        }
+        assert!(current_path().is_empty());
+        publish_end();
+    }
+
+    #[test]
+    fn publication_refcounts() {
+        let _g = gate();
+        publish_begin();
+        publish_begin();
+        publish_end();
+        assert!(publishing());
+        publish_end();
+        assert!(!publishing());
+        // Unmatched end saturates instead of wrapping.
+        publish_end();
+        assert!(!publishing());
+    }
+
+    #[test]
+    fn pop_balances_even_if_enabled_mid_span() {
+        let _g = gate();
+        let outer = crate::span("lp-outer"); // opened unpublished
+        publish_begin();
+        {
+            let _inner = crate::span("lp-inner");
+            assert_eq!(current_path(), vec!["lp-inner"]);
+        }
+        assert!(current_path().is_empty());
+        drop(outer); // must not underflow
+        assert!(current_path().is_empty());
+        publish_end();
+    }
+
+    #[test]
+    fn cross_thread_sampling_sees_worker_path() {
+        let _g = gate();
+        publish_begin();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let h = std::thread::Builder::new()
+            .name("lp-worker".into())
+            .spawn(move || {
+                let _s = crate::span("lp-working");
+                tx.send(()).ok();
+                done_rx.recv().ok();
+            })
+            .expect("spawn");
+        rx.recv().ok();
+        let samples = sample_all();
+        let worker = samples.iter().find(|s| s.thread == "lp-worker");
+        let worker = worker.expect("worker thread registered");
+        assert_eq!(worker.folded(), "lp-working");
+        done_tx.send(()).ok();
+        h.join().ok();
+        publish_end();
+        // After the worker exits its slot is dead and no longer sampled.
+        let names: Vec<String> =
+            sample_all().into_iter().map(|s| s.thread).collect();
+        assert!(!names.contains(&"lp-worker".to_string()));
+    }
+
+    #[test]
+    fn depth_overflow_truncates_but_stays_balanced() {
+        let _g = gate();
+        publish_begin();
+        let mut guards = Vec::new();
+        for _ in 0..(MAX_DEPTH + 8) {
+            guards.push(crate::span("lp-deep"));
+        }
+        assert_eq!(current_path().len(), MAX_DEPTH);
+        guards.clear();
+        assert!(current_path().is_empty());
+        publish_end();
+    }
+
+    #[test]
+    fn interner_is_stable_across_threads() {
+        let a = intern("lp-shared-name");
+        let b = std::thread::spawn(|| intern("lp-shared-name"))
+            .join()
+            .expect("join");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), Some("lp-shared-name"));
+        assert_eq!(resolve(0), None);
+    }
+}

@@ -6,12 +6,18 @@
 //! cargo run --example doctor -- <incident-file.json>   analyze one dump
 //! cargo run --example doctor -- --dir <incident-dir>   analyze the newest dump
 //! cargo run --example doctor -- --demo                 self-contained walkthrough
+//! cargo run --example doctor -- --json <file-or-mode>  machine-readable output
 //! ```
 //!
 //! With a file or directory argument the tool loads the incident and
 //! prints the same report the REPL's `\doctor;` renders: dominant cost
 //! source, cache behavior, retry/breaker timeline, fault class, and a
 //! plain-language diagnosis.
+//!
+//! `--json` (which may precede any of the other forms) switches the
+//! report to one stable-key JSON object per incident — see
+//! [`doctor::diagnose_json`] for the key contract — so the output can
+//! be piped into `jq` or an alerting hook.
 //!
 //! `--demo` runs a session against a fault-injected chunk source so a
 //! fresh checkout can see the whole pipeline — statement fails, an
@@ -22,10 +28,14 @@ use std::path::{Path, PathBuf};
 
 use aql::journal::{doctor, incident};
 
-fn analyze(path: &Path) -> Result<(), String> {
+fn analyze(path: &Path, json: bool) -> Result<(), String> {
     let inc = incident::Incident::load(path)?;
-    println!("incident: {}", path.display());
-    print!("{}", doctor::diagnose(&inc));
+    if json {
+        println!("{}", doctor::diagnose_json(&inc));
+    } else {
+        println!("incident: {}", path.display());
+        print!("{}", doctor::diagnose(&inc));
+    }
     Ok(())
 }
 
@@ -39,7 +49,7 @@ fn newest_in(dir: &Path) -> Result<PathBuf, String> {
 /// Build a session over a deterministically faulty chunk source, run a
 /// scan that trips the retry path into a hard failure, and doctor the
 /// resulting incident file.
-fn demo() -> Result<(), String> {
+fn demo(json: bool) -> Result<(), String> {
     use aql::core::types::Type;
     use aql::core::value::array::ArrayVal;
     use aql::core::value::Value;
@@ -81,30 +91,38 @@ fn demo() -> Result<(), String> {
     s.bind_val_typed("sst", Value::Array(std::rc::Rc::new(av)), Type::array1(Type::Real));
     s.enable_incidents(IncidentConfig::new(&dir));
 
-    println!("demo: scanning a 64-element array whose chunk 7 always fails...\n");
+    if !json {
+        println!("demo: scanning a 64-element array whose chunk 7 always fails...\n");
+    }
     match s.run("reverse!sst;") {
-        Ok(_) => println!("demo: unexpectedly succeeded (no incident)"),
-        Err(e) => println!("statement failed as planned: {e}\n"),
+        Ok(_) if !json => println!("demo: unexpectedly succeeded (no incident)"),
+        Err(e) if !json => println!("statement failed as planned: {e}\n"),
+        _ => {}
     }
     let path = s
         .last_incident_path()
         .ok_or("the failing statement must dump an incident")?;
-    analyze(&path)?;
+    analyze(&path, json)?;
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.first().map(String::as_str) == Some("--json");
+    if json {
+        args.remove(0);
+    }
     let result = match args.first().map(String::as_str) {
-        Some("--demo") => demo(),
+        Some("--demo") => demo(json),
         Some("--dir") => match args.get(1) {
-            Some(d) => newest_in(Path::new(d)).and_then(|p| analyze(&p)),
-            None => Err("usage: doctor --dir <incident-dir>".to_string()),
+            Some(d) => newest_in(Path::new(d)).and_then(|p| analyze(&p, json)),
+            None => Err("usage: doctor [--json] --dir <incident-dir>".to_string()),
         },
-        Some(file) => analyze(Path::new(file)),
+        Some(file) => analyze(Path::new(file), json),
         None => Err(
-            "usage: doctor <incident-file.json> | --dir <incident-dir> | --demo".to_string(),
+            "usage: doctor [--json] <incident-file.json> | --dir <incident-dir> | --demo"
+                .to_string(),
         ),
     };
     if let Err(e) = result {
